@@ -1,0 +1,41 @@
+"""Helpers shared by the benchmark harness files.
+
+Rendered artifacts are written to ``results/`` and queued so the
+``pytest_terminal_summary`` hook (in ``conftest.py``) can echo them into
+the benchmark log.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.eval.profiles import profile_from_env
+from repro.eval.reporting import render_experiment, save_experiment
+
+RESULTS_DIR = Path(
+    os.environ.get(
+        "REPRO_RESULTS_DIR",
+        str(Path(__file__).resolve().parent.parent / "results"),
+    )
+)
+
+#: Reports queued for the terminal summary.
+REPORTS: list[str] = []
+
+#: The profile every benchmark runs under (REPRO_PROFILE, default quick).
+PROFILE = profile_from_env()
+
+
+def publish(result, max_rows: int | None = 12) -> None:
+    """Archive an experiment result and queue it for the terminal summary."""
+    save_experiment(result, results_dir=RESULTS_DIR)
+    REPORTS.append(render_experiment(result, max_rows=max_rows))
+
+
+def publish_text(title: str, text: str) -> None:
+    """Archive free-form text (ablation summaries) and queue it."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    slug = title.lower().replace(" ", "_").replace("/", "-").replace(":", "")
+    (RESULTS_DIR / f"{slug}.txt").write_text(text + "\n", encoding="utf-8")
+    REPORTS.append(f"{title}\n{text}")

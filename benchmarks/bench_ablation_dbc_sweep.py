@@ -1,0 +1,26 @@
+"""A-10 — extended iso-capacity DBC sweep (beyond Table I's four points).
+
+Fig. 6 locates the energy sweet spot between 4 and 8 DBCs from four
+anchor configurations. With the extrapolated DESTINY calibration the
+sweep extends to a 32-DBC design and confirms the penalty keeps growing
+past the paper's largest configuration.
+"""
+
+from repro.eval.ablations import ablation_dbc_sweep
+
+from _bench_utils import PROFILE, publish
+
+
+def test_extended_dbc_sweep(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablation_dbc_sweep(PROFILE), rounds=1, iterations=1
+    )
+    publish(result, max_rows=None)
+
+    dbcs = [row[0] for row in result.rows]
+    # all power-of-two iso-capacity splits must be present
+    assert {2, 4, 8, 16, 32} <= set(dbcs)
+    # the optimum is an interior configuration, as Fig. 6 argues...
+    assert result.summary["best_energy_dbcs"] not in (2.0, 32.0)
+    # ...and pushing beyond 16 DBCs keeps getting worse (leakage/area).
+    assert result.summary["energy_pj@32"] > result.summary["energy_pj@8"]

@@ -1,0 +1,65 @@
+"""A-1 — ablation: GA budget sweep (convergence behaviour).
+
+DESIGN.md calls out the GA's budget (mu = lambda = 100, 200 generations,
+tournament of 4) as a design choice made 'to get best-effort results in
+reasonable time'. This sweep shows the cost/quality trade-off and that
+the heuristic seeding makes even tiny budgets competitive.
+"""
+
+import pytest
+
+from repro.core.cost import shift_cost
+from repro.core.ga import GAConfig, GeneticPlacer
+from repro.core.policies import get_policy
+from repro.trace.generators.offsetstone import load_benchmark
+from repro.util.tables import format_table
+
+from _bench_utils import PROFILE, publish_text
+
+BUDGETS = [
+    ("seeds only", GAConfig(mu=16, lam=16, generations=0)),
+    ("tiny", GAConfig(mu=16, lam=16, generations=5)),
+    ("small", GAConfig(mu=16, lam=16, generations=20)),
+    ("medium", GAConfig(mu=32, lam=32, generations=40)),
+]
+
+
+@pytest.fixture(scope="module")
+def sequence():
+    bench = load_benchmark("h263", scale=PROFILE.suite_scale, seed=PROFILE.seed)
+    return max((t.sequence for t in bench.traces), key=len)
+
+
+def test_ga_budget_sweep(benchmark, sequence):
+    def sweep():
+        rows = []
+        for label, cfg in BUDGETS:
+            result = GeneticPlacer(sequence, 4, 256, cfg, rng=11).run()
+            rows.append(
+                [label, cfg.generations, result.evaluations, result.cost]
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    costs = [r[3] for r in rows]
+    # More budget never hurts (mu+lambda keeps the best individual).
+    assert all(a >= b for a, b in zip(costs, costs[1:])), costs
+    # Even 'seeds only' is bounded by the best heuristic.
+    sr = shift_cost(sequence, get_policy("DMA-SR").place(sequence, 4, 256))
+    assert costs[0] <= sr
+    publish_text(
+        "A-1 GA budget sweep",
+        format_table(
+            ["budget", "generations", "evaluations", "shift cost"], rows
+        ),
+    )
+
+
+def test_ga_convergence_history_monotone(benchmark, sequence):
+    cfg = GAConfig(mu=16, lam=16, generations=25)
+
+    def run():
+        return GeneticPlacer(sequence, 4, 256, cfg, rng=3).run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert all(a >= b for a, b in zip(result.history, result.history[1:]))

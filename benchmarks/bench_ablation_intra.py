@@ -1,0 +1,84 @@
+"""A-3 — ablation: intra-DBC heuristic interplay on a fixed inter split.
+
+Sec. IV-B argues the DMA distribution 'provides a promising base for the
+Chen and ShiftsReduce heuristics'. Here the inter-DBC split is held
+fixed (DMA) while the intra-DBC optimizer varies over OFU / Chen / SR /
+TSP, plus the exact DP on instances small enough to certify.
+"""
+
+from repro.core.cost import shift_cost
+from repro.core.intra import (
+    chen_order,
+    ofu_order,
+    optimal_order,
+    pyramid_order,
+    shifts_reduce_order,
+    tsp_order,
+)
+from repro.core.inter.dma import dma_placement
+from repro.core.placement import Placement
+from repro.trace.generators.offsetstone import load_benchmark
+from repro.trace.generators.synthetic import zipf_sequence
+from repro.util.tables import format_table
+
+from _bench_utils import PROFILE, publish_text
+
+INTRA = [
+    ("Pyramid", pyramid_order),  # adjacency-blind frequency reference
+    ("OFU", ofu_order),
+    ("Chen", chen_order),
+    ("SR", shifts_reduce_order),
+    ("TSP", tsp_order),
+]
+
+
+def test_intra_interplay_on_dma_base(benchmark):
+    names = ("bison", "h263", "gzip", "dspstone")
+
+    def sweep():
+        totals = {label: 0 for label, _ in INTRA}
+        for name in names:
+            bench = load_benchmark(
+                name, scale=PROFILE.suite_scale, seed=PROFILE.seed
+            )
+            for trace in bench.traces:
+                seq = trace.sequence
+                for label, intra in INTRA:
+                    placement = dma_placement(seq, 4, 256, intra=intra)
+                    totals[label] += shift_cost(seq, placement)
+        return totals
+
+    totals = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    publish_text(
+        "A-3 intra-DBC interplay on the DMA split (total shifts, 4 DBCs)",
+        format_table(
+            ["intra heuristic", "total shifts"],
+            [[label, totals[label]] for label, _ in INTRA],
+        ),
+    )
+    # The paper's ordering: optimized intra never loses to plain OFU.
+    assert totals["SR"] <= totals["OFU"]
+    assert totals["Chen"] <= totals["OFU"] * 1.05
+
+
+def test_heuristics_vs_exact_dp_on_small_dbcs(benchmark):
+    """Certify intra heuristics against the exact DP (<= 12 variables)."""
+    seqs = [zipf_sequence(10, 80, alpha=1.2, locality=0.2, rng=s)
+            for s in range(6)]
+
+    def measure():
+        gaps = []
+        for seq in seqs:
+            variables = list(seq.variables)
+            best = shift_cost(
+                seq, Placement([optimal_order(seq, variables)])
+            )
+            sr = shift_cost(
+                seq, Placement([shifts_reduce_order(seq, variables)])
+            )
+            gaps.append((sr + 1) / (best + 1))
+        return gaps
+
+    gaps = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert all(g >= 1.0 for g in gaps)
+    assert sum(gaps) / len(gaps) < 2.0  # SR stays near-optimal on average

@@ -1,0 +1,95 @@
+"""A-8 — ablation: wear (shift-distribution) impact of placement policies.
+
+Placement decides not only how many shifts happen but which DBCs absorb
+them. DMA deliberately concentrates the disjoint chain's (few) shifts in
+dedicated DBCs; this bench checks the resulting wear picture: DMA cuts
+the *peak* per-DBC shift count (the lifetime limiter) vs AFD even when
+its distribution is less even, and role rotation levels wear across
+repeated runs for free (the cost model is DBC-permutation invariant).
+"""
+
+import pytest
+
+from repro.core.policies import get_policy
+from repro.rtm.geometry import iso_capacity_sweep
+from repro.rtm.sim import simulate
+from repro.rtm.wear import rotate_placement, wear_report
+from repro.trace.generators.offsetstone import load_benchmark
+from repro.util.tables import format_table
+
+from _bench_utils import PROFILE, publish_text
+
+
+@pytest.fixture(scope="module")
+def workload():
+    bench = load_benchmark("klt", scale=PROFILE.suite_scale, seed=PROFILE.seed)
+    config = [c for c in iso_capacity_sweep() if c.dbcs == 8][0]
+    return bench, config
+
+
+def test_wear_profile_per_policy(benchmark, workload):
+    bench, config = workload
+    cap = config.locations_per_dbc
+
+    def run():
+        rows = []
+        for name in ("AFD-OFU", "DMA-OFU", "DMA-SR"):
+            policy = get_policy(name)
+            total = None
+            for trace in bench.traces:
+                placement = policy.place(trace.sequence, config.dbcs, cap)
+                report = simulate(trace, placement, config)
+                total = report if total is None else total + report
+            w = wear_report(total)
+            rows.append([
+                name, w.total_shifts, w.max_shifts,
+                round(w.imbalance, 2), round(w.gini, 3),
+            ])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    publish_text(
+        "A-8 wear profile per policy (8 DBCs)",
+        format_table(
+            ["policy", "total shifts", "peak DBC shifts", "imbalance", "gini"],
+            rows,
+        ),
+    )
+    by = {r[0]: r for r in rows}
+    # The lifetime limiter is the peak: DMA-SR must not age faster than AFD.
+    assert by["DMA-SR"][2] <= by["AFD-OFU"][2]
+
+
+def test_rotation_levels_wear(benchmark, workload):
+    bench, config = workload
+    cap = config.locations_per_dbc
+    policy = get_policy("DMA-SR")
+
+    def run():
+        static = rotated = None
+        for i, trace in enumerate(bench.traces):
+            placement = policy.place(trace.sequence, config.dbcs, cap)
+            r_static = simulate(trace, placement, config)
+            r_rotated = simulate(
+                trace, rotate_placement(placement, i % config.dbcs), config
+            )
+            static = r_static if static is None else static + r_static
+            rotated = r_rotated if rotated is None else rotated + r_rotated
+        return wear_report(static), wear_report(rotated)
+
+    w_static, w_rotated = benchmark.pedantic(run, rounds=1, iterations=1)
+    publish_text(
+        "A-8 wear-levelling rotation (DMA-SR, 8 DBCs)",
+        format_table(
+            ["scheme", "total shifts", "peak DBC shifts", "imbalance"],
+            [
+                ["static roles", w_static.total_shifts,
+                 w_static.max_shifts, round(w_static.imbalance, 2)],
+                ["rotated roles", w_rotated.total_shifts,
+                 w_rotated.max_shifts, round(w_rotated.imbalance, 2)],
+            ],
+        ),
+    )
+    # Rotation costs zero shifts and cannot worsen the peak materially.
+    assert w_rotated.total_shifts == w_static.total_shifts
+    assert w_rotated.max_shifts <= w_static.max_shifts * 1.05

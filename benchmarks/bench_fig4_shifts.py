@@ -1,0 +1,82 @@
+"""E-F4 — Fig. 4: shift cost of all six policies, normalized to GA.
+
+The expensive part (the full benchmark x configuration x policy matrix)
+is computed once per session in the ``paper_matrix`` fixture; the timed
+kernels here are (a) the Fig. 4 aggregation and (b) one representative
+placement each for the heuristic and search policies.
+
+Shape targets (paper): DMA-OFU multi-x better than AFD-OFU, DMA-Chen and
+DMA-SR further ahead, GA best, RW far behind GA, gains shrinking as the
+DBC count grows.
+"""
+
+import pytest
+
+from repro.core.policies import get_policy
+from repro.eval.experiments import experiment_fig4
+from repro.trace.generators.offsetstone import load_benchmark
+
+from _bench_utils import PROFILE, publish
+
+
+def test_fig4_aggregation(benchmark, paper_matrix):
+    result = benchmark.pedantic(
+        lambda: experiment_fig4(PROFILE, matrix=paper_matrix),
+        rounds=1, iterations=1,
+    )
+    publish(result, max_rows=16)
+
+    dbc_counts = sorted({k[2] for k in paper_matrix})
+    # GA is the normalization reference.
+    for q in dbc_counts:
+        assert result.summary[f"norm_GA@{q}"] == pytest.approx(1.0)
+    # The headline ordering of Fig. 4 (suite-level geomeans).
+    for q in dbc_counts:
+        afd = result.summary[f"norm_AFD-OFU@{q}"]
+        dma = result.summary[f"norm_DMA-OFU@{q}"]
+        sr = result.summary[f"norm_DMA-SR@{q}"]
+        rw = result.summary[f"norm_RW@{q}"]
+        assert sr <= dma * 1.02, f"DMA-SR should lead DMA-OFU at {q} DBCs"
+        assert sr <= afd, f"DMA-SR should beat AFD-OFU at {q} DBCs"
+        assert rw > 1.0, f"RW should trail GA at {q} DBCs"
+    # DMA's advantage over AFD must be visible on mid-size configurations.
+    assert max(
+        result.summary[f"dma_vs_afd_x@{q}"] for q in dbc_counts
+    ) > 1.1
+
+
+def test_fig4_rw_never_beats_ga(paper_matrix, benchmark):
+    def check():
+        violations = 0
+        for (bench, policy, q), cell in paper_matrix.items():
+            if policy == "RW":
+                ga = paper_matrix[(bench, "GA", q)].shifts
+                if cell.shifts < ga:
+                    violations += 1
+        return violations
+
+    violations = benchmark.pedantic(check, rounds=1, iterations=1)
+    # GA is seeded with the heuristics, so RW (uniform random) should
+    # essentially never win; tolerate noise on degenerate tiny cells.
+    assert violations <= len(paper_matrix) * 0.02
+
+
+@pytest.mark.parametrize("policy_name", ["AFD-OFU", "DMA-OFU", "DMA-Chen", "DMA-SR"])
+def test_heuristic_placement_kernel(benchmark, policy_name):
+    """Wall-time of one placement on a mid-size program sequence."""
+    bench = load_benchmark("jpeg", scale=PROFILE.suite_scale, seed=PROFILE.seed)
+    seq = max((t.sequence for t in bench.traces), key=len)
+    policy = get_policy(policy_name)
+    placement = benchmark(lambda: policy.place(seq, 4, 256))
+    placement.validate_for(seq, num_dbcs=4, capacity=256)
+
+
+def test_search_placement_kernel(benchmark):
+    """Wall-time of the GA at the profile's budget on one sequence."""
+    bench = load_benchmark("dct", scale=PROFILE.suite_scale, seed=PROFILE.seed)
+    seq = max((t.sequence for t in bench.traces), key=len)
+    ga = get_policy("GA", **PROFILE.ga_options)
+    placement = benchmark.pedantic(
+        lambda: ga.place(seq, 4, 256, rng=1), rounds=1, iterations=1
+    )
+    placement.validate_for(seq, num_dbcs=4, capacity=256)

@@ -1,0 +1,53 @@
+"""E-F5 — Fig. 5: energy normalized to AFD-OFU, split into
+leakage / read-write / shift components.
+
+Shape targets (paper): DMA-OFU and DMA-SR cut total energy substantially
+at 2-8 DBCs and modestly at 16; the leakage share grows with the DBC
+count; DMA's leakage component drops with runtime.
+"""
+
+import pytest
+
+from repro.eval.experiments import experiment_fig5
+from repro.rtm.timing import destiny_params
+
+from _bench_utils import PROFILE, publish
+
+
+def test_fig5_energy_breakdown(benchmark, paper_matrix):
+    result = benchmark.pedantic(
+        lambda: experiment_fig5(PROFILE, matrix=paper_matrix),
+        rounds=1, iterations=1,
+    )
+    publish(result, max_rows=None)
+
+    from repro.eval.charts import render_stacked_chart
+    from _bench_utils import publish_text
+    chart_rows = [
+        (f"{row[0]} {row[1]}", {"leakage": row[2], "rw": row[3], "shift": row[4]})
+        for row in result.rows
+    ]
+    publish_text(
+        "Fig. 5 as a chart (energy normalized to AFD-OFU per config)",
+        render_stacked_chart(chart_rows, width=40),
+    )
+
+    dbc_counts = sorted({k[2] for k in paper_matrix})
+    for q in dbc_counts:
+        sr = result.summary[f"dma_sr_energy_saving_pct@{q}"]
+        ofu = result.summary[f"dma_ofu_energy_saving_pct@{q}"]
+        assert sr >= ofu - 1.0, (
+            f"DMA-SR should save at least as much energy as DMA-OFU at {q} DBCs"
+        )
+        assert sr > 0, f"DMA-SR must save energy at {q} DBCs"
+    # Leakage share of the baseline grows with the DBC count (Table I).
+    shares = [result.summary[f"leakage_share_afd@{q}"] for q in dbc_counts]
+    assert shares[-1] > shares[0]
+
+
+def test_leakage_power_drives_share(benchmark):
+    """Sanity anchor: Table I leakage doubles from 2 to 16 DBCs."""
+    ratio = benchmark(
+        lambda: destiny_params(16).leakage_mw / destiny_params(2).leakage_mw
+    )
+    assert ratio == pytest.approx(8.94 / 3.39)

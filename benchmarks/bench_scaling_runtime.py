@@ -1,0 +1,57 @@
+"""A-5 — scaling: placement wall-time vs trace size.
+
+The paper positions DMA as a 'fast heuristic' fit for compilers
+(Sec. III, 'Practicality in compilers demands fast-executing
+heuristics'). These kernels time each heuristic against growing traces
+so regressions in asymptotic behaviour show up as benchmark deltas.
+"""
+
+import pytest
+
+from repro.core.policies import get_policy
+from repro.trace.generators.synthetic import sliding_window_sequence
+
+SIZES = {
+    "small": (40, 400),
+    "medium": (120, 1500),
+    "large": (300, 3640),  # the suite's published maximum length
+}
+
+
+def _sequence(size):
+    num_vars, length = SIZES[size]
+    return sliding_window_sequence(
+        num_vars, length, window=5, locality=0.4, shared_vars=6,
+        shared_ratio=0.15, revisit=0.12, rng=42,
+    )
+
+
+@pytest.mark.parametrize("size", list(SIZES))
+@pytest.mark.parametrize("policy_name", ["AFD-OFU", "DMA-OFU", "DMA-SR"])
+def test_placement_scaling(benchmark, policy_name, size):
+    seq = _sequence(size)
+    policy = get_policy(policy_name)
+    placement = benchmark(lambda: policy.place(seq, 8, 128))
+    placement.validate_for(seq, num_dbcs=8, capacity=128)
+
+
+@pytest.mark.parametrize("size", ["small", "medium"])
+def test_cost_evaluation_scaling(benchmark, size):
+    """The analytic cost model is the GA's inner loop; it must stay fast."""
+    from repro.core.cost import shift_cost
+    seq = _sequence(size)
+    placement = get_policy("DMA-SR").place(seq, 8, 128)
+    cost = benchmark(lambda: shift_cost(seq, placement))
+    assert cost >= 0
+
+
+def test_simulation_scaling(benchmark):
+    from repro.rtm.geometry import iso_capacity_sweep
+    from repro.rtm.sim import simulate
+    from repro.trace.trace import MemoryTrace
+    seq = _sequence("medium")
+    trace = MemoryTrace(seq)
+    config = [c for c in iso_capacity_sweep() if c.dbcs == 8][0]
+    placement = get_policy("DMA-SR").place(seq, 8, config.locations_per_dbc)
+    report = benchmark(lambda: simulate(trace, placement, config))
+    assert report.shifts >= 0

@@ -1,0 +1,31 @@
+"""E-S4C — Sec. IV-C's quoted latency improvements over AFD-OFU.
+
+Shape targets (paper): DMA-OFU improves latency by ~50/50/33/10 % for
+2/4/8/16 DBCs, with DMA-Chen and DMA-SR each adding a few points on top,
+and all three fading as the DBC count grows.
+"""
+
+from repro.eval.experiments import experiment_sec4c
+
+from _bench_utils import PROFILE, publish
+
+
+def test_sec4c_latency_improvements(benchmark, paper_matrix):
+    result = benchmark.pedantic(
+        lambda: experiment_sec4c(PROFILE, matrix=paper_matrix),
+        rounds=1, iterations=1,
+    )
+    publish(result, max_rows=None)
+
+    dbc_counts = sorted({k[2] for k in paper_matrix})
+    for q in dbc_counts:
+        ofu = result.summary[f"dma_ofu_latency_pct@{q}"]
+        chen = result.summary[f"dma_chen_latency_pct@{q}"]
+        sr = result.summary[f"dma_sr_latency_pct@{q}"]
+        # The intra-optimized variants must not lose latency vs DMA-OFU.
+        assert chen >= ofu - 3.0
+        assert sr >= ofu - 3.0
+    # Latency gains must be clearly positive somewhere in the sweep.
+    assert max(
+        result.summary[f"dma_sr_latency_pct@{q}"] for q in dbc_counts
+    ) > 5.0

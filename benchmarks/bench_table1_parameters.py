@@ -1,0 +1,28 @@
+"""E-T1 — regenerate Table I (memory system parameters).
+
+Timed kernel: the calibrated parameter model across the iso-capacity
+sweep, including the interpolation path for non-tabulated DBC counts.
+"""
+
+import pytest
+
+from repro.eval.experiments import experiment_table1
+from repro.rtm.timing import destiny_params
+
+from _bench_utils import publish
+
+
+def test_table1_parameters(benchmark):
+    result = benchmark(experiment_table1)
+    for key, expected in result.paper.items():
+        assert result.summary[key] == pytest.approx(expected), key
+    publish(result)
+
+
+def test_table1_interpolation_path(benchmark):
+    """Off-anchor queries (the DESTINY substitution's added capability)."""
+    def interpolate():
+        return [destiny_params(q).leakage_mw for q in (3, 5, 6, 10, 12, 24)]
+
+    values = benchmark(interpolate)
+    assert values == sorted(values)  # leakage grows with DBC count

@@ -1,0 +1,51 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables/figures. The
+rendered artifacts are (1) written to ``results/`` and (2) echoed in the
+pytest terminal summary, so ``pytest benchmarks/ --benchmark-only | tee
+bench_output.txt`` archives the full paper-vs-measured comparison.
+
+Profile selection: set ``REPRO_PROFILE`` to ``smoke`` (seconds), ``quick``
+(default, minutes) or ``full`` (the paper's budgets, hours).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from _bench_utils import PROFILE, REPORTS, RESULTS_DIR
+
+from repro.core.policies import PAPER_POLICIES
+from repro.eval.runner import run_matrix
+
+
+@pytest.fixture(scope="session")
+def profile():
+    return PROFILE
+
+
+@pytest.fixture(scope="session")
+def paper_matrix():
+    """The (benchmark x config x policy) matrix shared by Figs. 4-6.
+
+    Computed once per session; its wall-time is reported by the dedicated
+    matrix benchmark rather than distorting every figure's timing.
+    """
+    return run_matrix(PAPER_POLICIES, PROFILE)
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not REPORTS:
+        return
+    terminalreporter.section("paper artifacts (paper vs measured)")
+    for report in REPORTS:
+        terminalreporter.write_line("")
+        for line in report.splitlines():
+            terminalreporter.write_line(line)
+    terminalreporter.write_line("")
+    terminalreporter.write_line(f"(full tables archived under {RESULTS_DIR})")

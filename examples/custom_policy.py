@@ -1,0 +1,105 @@
+"""Write your own placement policy and race it against the built-ins.
+
+The library's policies all share one shape: ``(sequence, num_dbcs,
+capacity, rng) -> Placement``. This example implements two custom
+strategies —
+
+* ``lifetime-balance``: sorts variables by lifespan and deals long-lived
+  variables breadth-first (spreading the expensive ones) while packing
+  short-lived variables densely, and
+* ``hot-centre``: AFD's partition but with each DBC's hottest variable
+  in the middle of the layout (a pyramid order),
+
+— wraps them in :class:`repro.core.policies.Policy`, and compares them
+with the paper's policies on a generated control-code program.
+
+Run:  python examples/custom_policy.py
+"""
+
+from collections import deque
+
+from repro import Liveness, Placement, get_policy, shift_cost
+from repro.core.inter.afd import afd_partition
+from repro.core.policies import Policy
+from repro.trace.generators.offsetstone import load_benchmark
+from repro.util.tables import format_table
+
+
+def lifetime_balance(sequence, num_dbcs, capacity, _rng) -> Placement:
+    """Spread long-lived variables, pack short-lived ones densely."""
+    live = Liveness(sequence)
+    ranked = sorted(
+        sequence.variables,
+        key=lambda v: (-live.lifespan(v), sequence.index_of(v)),
+    )
+    dbcs: list[list[str]] = [[] for _ in range(num_dbcs)]
+    cursor = 0
+    for v in ranked:
+        for _ in range(num_dbcs):
+            dbc = dbcs[cursor % num_dbcs]
+            cursor += 1
+            if len(dbc) < capacity:
+                dbc.append(v)
+                break
+    # within each DBC, order by first occurrence (OFU-style)
+    for dbc in dbcs:
+        dbc.sort(key=lambda v: (live.first(v) == 0, live.first(v)))
+    return Placement(dbcs)
+
+
+def hot_centre(sequence, num_dbcs, capacity, _rng) -> Placement:
+    """AFD partition, but each DBC lays its hot variables in the middle."""
+    dbcs = afd_partition(sequence, num_dbcs, capacity)
+    freq = {v: sequence.frequency(v) for v in sequence.variables}
+    pyramids: list[list[str]] = []
+    for dbc in dbcs:
+        ranked = sorted(dbc, key=lambda v: -freq[v])
+        layout: deque[str] = deque()
+        for i, v in enumerate(ranked):
+            if i % 2 == 0:
+                layout.append(v)
+            else:
+                layout.appendleft(v)
+        pyramids.append(list(layout))
+    return Placement(pyramids)
+
+
+CUSTOM = [
+    Policy(name="lifetime-balance", fn=lifetime_balance),
+    Policy(name="hot-centre", fn=hot_centre),
+]
+
+
+def main() -> None:
+    program = load_benchmark("cc65", scale=0.4, seed=7)
+    num_dbcs, capacity = 4, 256
+
+    contenders = [get_policy(n) for n in ("AFD-OFU", "DMA-OFU", "DMA-SR")]
+    contenders += CUSTOM
+
+    rows = []
+    for policy in contenders:
+        total = 0
+        for trace in program.traces:
+            seq = trace.sequence
+            placement = policy.place(seq, num_dbcs, capacity, rng=0)
+            placement.validate_for(seq, num_dbcs=num_dbcs, capacity=capacity)
+            total += shift_cost(seq, placement)
+        rows.append([policy.name, total])
+    rows.sort(key=lambda r: r[1])
+    print(format_table(
+        ["policy", "total shifts"],
+        rows,
+        title=f"{program.name}: custom vs built-in policies "
+              f"({num_dbcs} DBCs x {capacity})",
+    ))
+    print(
+        "\nTakeaway: frequency- or lifetime-only signals (hot-centre,"
+        "\nlifetime-balance) recover part of the gap, but the sequence-aware"
+        "\ndisjoint separation (DMA-*) needs both timing and order — the"
+        "\npaper's core argument (Sec. III-B)."
+    )
+
+
+if __name__ == "__main__":
+    main()

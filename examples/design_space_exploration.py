@@ -1,0 +1,71 @@
+"""Design-space exploration: how many DBCs should the RTM have?
+
+Reproduces the Fig. 6 methodology as a user-facing flow: for one
+application (a generated 'jpeg'-like program) sweep the iso-capacity
+configurations of Table I (2/4/8/16 DBCs) and, per configuration, report
+shifts, runtime, energy and area for the best placement policy. The
+sweep exposes the paper's trade-off: few DBCs drown in shift energy,
+many DBCs in leakage and area — the sweet spot sits in the middle.
+
+Run:  python examples/design_space_exploration.py
+"""
+
+from repro import get_policy, iso_capacity_sweep
+from repro.rtm.sim import simulate_program
+from repro.rtm.timing import params_for
+from repro.trace.generators.offsetstone import load_benchmark
+from repro.util.tables import format_table
+
+
+def main() -> None:
+    program = load_benchmark("jpeg", scale=0.4, seed=7)
+    print(
+        f"application: {program.name} ({program.num_sequences} sequences, "
+        f"{program.total_accesses} accesses, <= {program.max_variables} vars)"
+    )
+
+    policy = get_policy("DMA-SR")
+    rows = []
+    best = None
+    for config in iso_capacity_sweep():
+        capacity = config.locations_per_dbc
+        pairs = [
+            (trace, policy.place(trace.sequence, config.dbcs, capacity))
+            for trace in program.traces
+        ]
+        report = simulate_program(pairs, config, params=params_for(config))
+        rows.append([
+            config.dbcs,
+            report.shifts,
+            round(report.runtime_ns / 1e3, 2),       # us
+            round(report.total_energy_pj / 1e3, 2),  # nJ
+            round(report.area_mm2, 4),
+        ])
+        if best is None or report.total_energy_pj < best[1]:
+            best = (config.dbcs, report.total_energy_pj)
+    print(format_table(
+        ["DBCs", "shifts", "runtime [us]", "energy [nJ]", "area [mm2]"],
+        rows,
+        title="DMA-SR across the iso-capacity sweep (4 KiB, 32 tracks/DBC)",
+    ))
+    assert best is not None
+    print(f"\nmost energy-efficient configuration: {best[0]} DBCs")
+
+    print("\nper-configuration energy split (why the extremes lose):")
+    for config in iso_capacity_sweep():
+        capacity = config.locations_per_dbc
+        pairs = [
+            (trace, policy.place(trace.sequence, config.dbcs, capacity))
+            for trace in program.traces
+        ]
+        report = simulate_program(pairs, config, params=params_for(config))
+        total = report.total_energy_pj
+        parts = report.energy_breakdown()
+        split = "  ".join(
+            f"{k}={100 * v / total:5.1f}%" for k, v in parts.items()
+        )
+        print(f"  {config.dbcs:2d} DBCs: {split}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Place real DSP kernels in an RTM scratchpad.
+
+The paper motivates RTM placement with embedded signal-processing
+workloads (Sec. I, Sec. IV-A: OffsetStone spans image/signal/video
+processing). This example generates access traces from actual loop nests
+— FIR, IIR, an 8-point DCT, a radix-2 FFT, Viterbi decoding, GSM LPC —
+and shows how much shifting each placement policy removes per kernel on
+an 8-DBC scratchpad, plus the energy split of the winner.
+
+Run:  python examples/dsp_kernel_placement.py
+"""
+
+from repro import MemoryTrace, get_policy, iso_capacity_sweep, shift_cost, simulate
+from repro.trace.generators import (
+    dct8,
+    fft_butterfly,
+    fir_filter,
+    gsm_lpc,
+    iir_biquad,
+    viterbi_trellis,
+)
+from repro.util.tables import format_table
+
+KERNELS = [
+    ("FIR (16 taps)", fir_filter(taps=16, samples=24)),
+    ("IIR biquad x3", iir_biquad(sections=3, samples=24)),
+    ("DCT-8 (8 blocks)", dct8(blocks=8)),
+    ("FFT radix-2 (32 pt)", fft_butterfly(n=32)),
+    ("Viterbi (8 states)", viterbi_trellis(states=8, steps=12)),
+    ("GSM LPC (order 8)", gsm_lpc(order=8, frames=4)),
+]
+
+POLICIES = ("AFD-OFU", "DMA-OFU", "DMA-Chen", "DMA-SR")
+
+
+def main() -> None:
+    config = [c for c in iso_capacity_sweep() if c.dbcs == 8][0]
+    capacity = config.locations_per_dbc
+
+    rows = []
+    for label, seq in KERNELS:
+        row = [label, seq.num_variables, len(seq)]
+        for name in POLICIES:
+            placement = get_policy(name).place(seq, config.dbcs, capacity)
+            row.append(shift_cost(seq, placement))
+        rows.append(row)
+    print(format_table(
+        ["kernel", "vars", "accesses", *POLICIES],
+        rows,
+        title=f"Shift cost per kernel on {config.describe()}",
+    ))
+
+    print("\nwinner's energy breakdown (DMA-SR):")
+    for label, seq in KERNELS:
+        placement = get_policy("DMA-SR").place(seq, config.dbcs, capacity)
+        report = simulate(MemoryTrace(seq), placement, config)
+        parts = report.energy_breakdown()
+        total = report.total_energy_pj
+        split = " / ".join(
+            f"{k} {100 * v / total:.0f}%" for k, v in parts.items()
+        )
+        print(f"  {label:20s} {total:8.1f} pJ  ({split})")
+
+    print(
+        "\nNote: kernels with rotating per-nest temporaries (DCT, Viterbi)"
+        "\nprofit most from the disjoint-lifespan separation; kernels whose"
+        "\nstate stays live throughout (FIR delay line) gain mainly from"
+        "\nthe intra-DBC ordering."
+    )
+
+
+if __name__ == "__main__":
+    main()

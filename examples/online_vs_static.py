@@ -1,0 +1,80 @@
+"""Static placement vs runtime mitigation: swapping and pre-shifting.
+
+The related work attacks RTM shift overhead in hardware — swap hot data
+toward the port at runtime (Sun et al., DAC'13) or pre-align the likely
+next domain during idle cycles (Atoofian; Mao et al.). The paper's
+counter-argument is that *compile-time placement gets the shifts out for
+free*. This example stages the face-off on one generated program:
+
+* AFD-OFU                — frequency-only static baseline
+* AFD-OFU + swapping     — the baseline helped by runtime migration
+* DMA-SR                 — the paper's static placement
+* DMA-SR + pre-shifting  — placement plus idle-time alignment
+
+Run:  python examples/online_vs_static.py
+"""
+
+from repro import get_policy, iso_capacity_sweep, simulate
+from repro.rtm.preshift import PreshiftController, PreshiftPolicy
+from repro.rtm.swapping import SwappingController
+from repro.trace.generators.offsetstone import load_benchmark
+from repro.util.tables import format_table
+
+
+def main() -> None:
+    program = load_benchmark("codecs", scale=0.4, seed=7)
+    config = [c for c in iso_capacity_sweep() if c.dbcs == 4][0]
+    cap = config.locations_per_dbc
+    print(f"workload: {program.name}, {program.num_sequences} sequences, "
+          f"{program.total_accesses} accesses on {config.describe()}")
+
+    shifts = {k: 0 for k in
+              ("AFD-OFU", "AFD-OFU+swap", "DMA-SR", "DMA-SR demand (preshift)")}
+    latency = dict.fromkeys(shifts, 0.0)
+    swap_count = 0
+    for trace in program.traces:
+        seq = trace.sequence
+        afd = get_policy("AFD-OFU").place(seq, config.dbcs, cap)
+        dma = get_policy("DMA-SR").place(seq, config.dbcs, cap)
+
+        r = simulate(trace, afd, config)
+        shifts["AFD-OFU"] += r.shifts
+        latency["AFD-OFU"] += r.runtime_ns
+
+        dyn, stats = SwappingController(config, afd, threshold=4).execute(trace)
+        shifts["AFD-OFU+swap"] += dyn.shifts
+        latency["AFD-OFU+swap"] += dyn.runtime_ns
+        swap_count += stats.swaps
+
+        r = simulate(trace, dma, config)
+        shifts["DMA-SR"] += r.shifts
+        latency["DMA-SR"] += r.runtime_ns
+
+        ps = PreshiftController(config, dma, policy=PreshiftPolicy.CENTRE)
+        rep = ps.execute(trace)
+        shifts["DMA-SR demand (preshift)"] += rep.demand_shifts
+        latency["DMA-SR demand (preshift)"] += rep.latency_ns
+
+    rows = [
+        [name, shifts[name], round(latency[name] / 1e3, 2)]
+        for name in shifts
+    ]
+    print(format_table(
+        ["scheme", "latency-bearing shifts", "runtime [us]"],
+        rows, title="static placement vs runtime mitigation",
+    ))
+    print(f"\n(swapping performed {swap_count} migrations — each costing "
+          "two extra reads+writes and alignment shifts)")
+    print(
+        "\nTakeaway: the runtime schemes fight symptoms. Swapping recovers"
+        "\nsome of a frequency-only layout's cost but pays for every"
+        "\nmigration; naive pre-shifting actually *adds* demand shifts on a"
+        "\nplacement-optimized layout, because DMA-SR already leaves the"
+        "\nport exactly where the next access wants it. Sequence-aware"
+        "\nstatic placement wins with zero hardware support — the paper's"
+        "\nSec. V argument."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""Whole-program placement: one layout for a multi-procedure program.
+
+The paper (following the offset-assignment methodology) gives every
+access sequence a private layout of the full memory. A compiler emitting
+code for an RTM scratchpad must pick *one* layout that serves all
+procedures, with globals pinned at single locations. This example walks
+that flow:
+
+1. generate a small program (CFG-shaped procedures sharing globals),
+2. fuse the procedures and place the union with several policies,
+3. compare against the unrealizable per-procedure reference,
+4. show that DMA absorbs most of the single-layout penalty because fused
+   procedure locals remain disjoint phases.
+
+Run:  python examples/program_layout.py
+"""
+
+from repro.core.program import (
+    best_program_placement,
+    per_sequence_reference,
+    place_program,
+)
+from repro.trace.generators.programs import ProcedureSpec, program_sequences
+from repro.trace.sequence import AccessSequence
+from repro.util.tables import format_table
+
+
+def with_shared_globals(seqs: list[AccessSequence]) -> list[AccessSequence]:
+    """Rename each procedure's globals onto one shared set (simulating
+    file-scope variables used by every procedure)."""
+    renamed = []
+    for seq in seqs:
+        mapping = {}
+        shared_idx = 0
+        for v in seq.variables:
+            if "_g" in v:
+                mapping[v] = f"G{shared_idx}"
+                shared_idx += 1
+            else:
+                mapping[v] = v
+        renamed.append(
+            AccessSequence(
+                [mapping[a] for a in seq.accesses],
+                [mapping[v] for v in seq.variables],
+                name=seq.name,
+            )
+        )
+    return renamed
+
+
+def main() -> None:
+    spec = ProcedureSpec(target_statements=70, procedure_vars=3)
+    procedures = with_shared_globals(program_sequences(5, spec=spec, rng=99))
+    union = {v for s in procedures for v in s.variables}
+    print(f"program: {len(procedures)} procedures, {len(union)} distinct "
+          f"variables, {sum(len(s) for s in procedures)} accesses")
+
+    num_dbcs, capacity = 8, 128
+    rows = []
+    for policy in ("AFD-OFU", "DMA-OFU", "DMA-SR"):
+        result = place_program(procedures, num_dbcs, capacity, policy=policy)
+        rows.append([f"shared {policy}", result.total_cost])
+    private = per_sequence_reference(procedures, num_dbcs, capacity,
+                                     policy="DMA-SR")
+    rows.append(["private DMA-SR (reference)", private])
+    print(format_table(
+        ["layout", "total shifts"], rows,
+        title=f"one layout for all procedures ({num_dbcs} DBCs x {capacity})",
+    ))
+
+    name, best = best_program_placement(procedures, num_dbcs, capacity)
+    print(f"\nauto-selected policy: {name} ({best.total_cost} shifts)")
+    print("per-procedure breakdown:")
+    for proc, cost in best.per_sequence_costs.items():
+        print(f"  {proc}: {cost}")
+    print(
+        "\nTakeaway: fusing procedures turns their locals into disjoint"
+        "\nphases, so the sequence-aware policies keep most of their edge"
+        "\neven under the single-layout constraint a real compiler faces."
+    )
+
+
+if __name__ == "__main__":
+    main()

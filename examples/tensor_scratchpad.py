@@ -1,0 +1,73 @@
+"""Tensor-contraction scratchpad: the paper's own motivating use case.
+
+The authors' earlier work (Khan et al., LCTES'19 — reference [5] of the
+paper) places tensor-contraction loop nests in an RTM scratchpad and
+reports large shift savings. This example rebuilds that scenario with
+the public API: a tiled 2-index contraction  C[i,j] += A[i,k] * B[k,j]
+is lowered to a scalar access trace (one variable per scratchpad word),
+placed with each policy, and simulated on a 4-DBC scratchpad.
+
+Run:  python examples/tensor_scratchpad.py
+"""
+
+from repro import MemoryTrace, get_policy, iso_capacity_sweep, shift_cost, simulate
+from repro.trace.sequence import AccessSequence
+from repro.util.tables import format_table
+
+
+def contraction_trace(n: int = 4, tile: int = 2) -> AccessSequence:
+    """Access trace of a tiled matrix contraction over scratchpad words."""
+    a = {(i, k): f"A_{i}_{k}" for i in range(n) for k in range(n)}
+    b = {(k, j): f"B_{k}_{j}" for k in range(n) for j in range(n)}
+    c = {(i, j): f"C_{i}_{j}" for i in range(n) for j in range(n)}
+    variables = list(a.values()) + list(b.values()) + list(c.values()) + ["acc"]
+    accesses: list[str] = []
+    for i0 in range(0, n, tile):
+        for j0 in range(0, n, tile):
+            for k0 in range(0, n, tile):
+                for i in range(i0, min(i0 + tile, n)):
+                    for j in range(j0, min(j0 + tile, n)):
+                        accesses.append(c[(i, j)])
+                        accesses.append("acc")
+                        for k in range(k0, min(k0 + tile, n)):
+                            accesses.append(a[(i, k)])
+                            accesses.append(b[(k, j)])
+                            accesses.append("acc")
+                        accesses.append("acc")
+                        accesses.append(c[(i, j)])
+    return AccessSequence(accesses, variables, name=f"contraction{n}x{n}t{tile}")
+
+
+def main() -> None:
+    config = [c for c in iso_capacity_sweep() if c.dbcs == 4][0]
+    cap = config.locations_per_dbc
+
+    rows = []
+    for tile in (1, 2, 4):
+        seq = contraction_trace(n=4, tile=tile)
+        row = [f"tile={tile}", len(seq)]
+        for policy_name in ("AFD-OFU", "DMA-SR", "MDMA-SR"):
+            placement = get_policy(policy_name).place(seq, config.dbcs, cap)
+            row.append(shift_cost(seq, placement))
+        rows.append(row)
+    print(format_table(
+        ["schedule", "accesses", "AFD-OFU", "DMA-SR", "MDMA-SR"],
+        rows,
+        title="4x4 contraction on a 4-DBC RTM scratchpad (shift cost)",
+    ))
+
+    seq = contraction_trace(n=4, tile=2)
+    placement = get_policy("DMA-SR").place(seq, config.dbcs, cap)
+    report = simulate(MemoryTrace(seq), placement, config)
+    print(f"\nDMA-SR, tile=2: {report.summary()}")
+    print(
+        "\nThe tiling choice shapes the trace's working sets: larger tiles"
+        "\nlengthen each block's lifespan (fewer disjoint chains), smaller"
+        "\ntiles rotate working sets faster — which the placement heuristics"
+        "\nconvert into fewer shifts, the effect [5] exploits for tensor"
+        "\nkernels on RTM scratchpads."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,176 @@
+"""Command-line entry points.
+
+* ``repro-place``      — place a trace file and print the placement + cost.
+* ``repro-sim``        — place and simulate, printing the full report.
+* ``repro-suite``      — inspect the generated OffsetStone-like suite.
+* ``repro-experiment`` — regenerate a table/figure of the paper.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.core.cost import per_dbc_shift_costs
+from repro.core.policies import available_policies, get_policy
+from repro.eval import experiments as exp
+from repro.eval.profiles import profile_from_env
+from repro.eval.reporting import render_experiment, save_experiment
+from repro.rtm.geometry import RTMConfig
+from repro.rtm.sim import simulate
+from repro.trace.generators.offsetstone import (
+    OFFSETSTONE_NAMES,
+    load_benchmark,
+)
+from repro.trace.io import read_traces
+from repro.util.tables import format_table
+
+
+def _add_device_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dbcs", type=int, default=4,
+                        help="number of DBCs (default 4)")
+    parser.add_argument("--domains", type=int, default=256,
+                        help="domains per track = locations per DBC (default 256)")
+    parser.add_argument("--ports", type=int, default=1,
+                        help="access ports per track (default 1)")
+    parser.add_argument("--policy", default="DMA-SR",
+                        choices=sorted(available_policies()),
+                        help="placement policy (default DMA-SR)")
+    parser.add_argument("--seed", type=int, default=0, help="RNG seed")
+
+
+def main_place(argv: Sequence[str] | None = None) -> int:
+    """Place the traces of a file and print per-DBC layouts and costs."""
+    parser = argparse.ArgumentParser(
+        prog="repro-place", description=main_place.__doc__
+    )
+    parser.add_argument("trace_file", help="trace file (see repro.trace.io)")
+    _add_device_args(parser)
+    parser.add_argument(
+        "--program", action="store_true",
+        help="fuse all traces into one program and emit a single layout",
+    )
+    args = parser.parse_args(argv)
+    policy = get_policy(args.policy)
+    traces = read_traces(args.trace_file)
+    if args.program:
+        from repro.core.program import place_program
+        result = place_program(
+            [t.sequence for t in traces], args.dbcs, args.domains,
+            policy=policy, rng=args.seed,
+        )
+        print(f"program layout over {len(traces)} sequences "
+              f"({len(result.placement.variables)} variables):")
+        for i, dbc in enumerate(result.placement.dbc_lists()):
+            names = [v for v in dbc if v is not None]
+            if names:
+                print(f"  DBC{i}: {' '.join(names)}")
+        for name, cost in result.per_sequence_costs.items():
+            print(f"  {name}: {cost} shifts")
+        print(f"  total shifts: {result.total_cost}")
+        return 0
+    for trace in traces:
+        seq = trace.sequence
+        placement = policy.place(seq, args.dbcs, args.domains, rng=args.seed)
+        costs = per_dbc_shift_costs(
+            seq, placement, ports=args.ports,
+            domains=args.domains if args.ports > 1 else None,
+        )
+        print(f"trace {seq.name}: {len(seq)} accesses, "
+              f"{seq.num_variables} variables")
+        for i, dbc in enumerate(placement.dbc_lists()):
+            names = [v for v in dbc if v is not None]
+            if names:
+                print(f"  DBC{i} ({costs[i]} shifts): {' '.join(names)}")
+        print(f"  total shifts: {sum(costs)}")
+    return 0
+
+
+def main_sim(argv: Sequence[str] | None = None) -> int:
+    """Place and simulate traces, printing latency and energy reports."""
+    parser = argparse.ArgumentParser(prog="repro-sim", description=main_sim.__doc__)
+    parser.add_argument("trace_file", help="trace file (see repro.trace.io)")
+    _add_device_args(parser)
+    parser.add_argument("--cold-start", action="store_true",
+                        help="charge the initial alignment shifts")
+    args = parser.parse_args(argv)
+    config = RTMConfig(dbcs=args.dbcs, domains_per_track=args.domains,
+                       ports_per_track=args.ports)
+    policy = get_policy(args.policy)
+    for trace in read_traces(args.trace_file):
+        seq = trace.sequence
+        placement = policy.place(seq, args.dbcs, args.domains, rng=args.seed)
+        report = simulate(trace, placement, config,
+                          warm_start=not args.cold_start)
+        print(f"trace {seq.name}: {report.summary()}")
+    return 0
+
+
+def main_suite(argv: Sequence[str] | None = None) -> int:
+    """Show the generated OffsetStone-like benchmark suite."""
+    parser = argparse.ArgumentParser(prog="repro-suite", description=main_suite.__doc__)
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="suite scale in (0, 1] (default 1.0)")
+    parser.add_argument("--seed", type=int, default=0, help="suite seed")
+    parser.add_argument("names", nargs="*", default=list(OFFSETSTONE_NAMES),
+                        help="benchmark names (default: all)")
+    args = parser.parse_args(argv)
+    rows = []
+    for name in args.names:
+        bench = load_benchmark(name, scale=args.scale, seed=args.seed)
+        rows.append(
+            [bench.name, bench.domain, bench.num_sequences,
+             bench.max_variables, bench.max_length, bench.total_accesses]
+        )
+    print(format_table(
+        ["Benchmark", "Domain", "Seqs", "MaxVars", "MaxLen", "Accesses"],
+        rows, title=f"OffsetStone-like suite (scale={args.scale})",
+    ))
+    return 0
+
+
+def _ablation(name):
+    from repro.eval import ablations
+
+    return getattr(ablations, name)
+
+
+_EXPERIMENTS = {
+    "table1": lambda profile: exp.experiment_table1(),
+    "fig3": lambda profile: exp.experiment_fig3(),
+    "fig4": exp.experiment_fig4,
+    "fig5": exp.experiment_fig5,
+    "fig6": exp.experiment_fig6,
+    "sec4c": exp.experiment_sec4c,
+    "sec4b": lambda profile: exp.experiment_sec4b_gap(profile),
+    "ablation-ports": lambda profile: _ablation("ablation_ports")(profile),
+    "ablation-multiset": lambda profile: _ablation("ablation_multiset")(profile),
+    "ablation-swapping": lambda profile: _ablation("ablation_swapping")(profile),
+    "ablation-dbc-sweep": lambda profile: _ablation("ablation_dbc_sweep")(profile),
+}
+
+
+def main_experiment(argv: Sequence[str] | None = None) -> int:
+    """Regenerate one of the paper's tables/figures."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiment", description=main_experiment.__doc__
+    )
+    parser.add_argument("experiment", choices=sorted(_EXPERIMENTS),
+                        help="which artifact to regenerate")
+    parser.add_argument("--save", metavar="DIR", default=None,
+                        help="also write the report under DIR")
+    parser.add_argument("--max-rows", type=int, default=None,
+                        help="truncate the table for display")
+    args = parser.parse_args(argv)
+    profile = profile_from_env()
+    result = _EXPERIMENTS[args.experiment](profile)
+    print(render_experiment(result, max_rows=args.max_rows))
+    if args.save:
+        path = save_experiment(result, results_dir=args.save)
+        print(f"\nsaved to {path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - manual dispatch helper
+    sys.exit(main_experiment())

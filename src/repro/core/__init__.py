@@ -1,0 +1,62 @@
+"""Data-placement core: the paper's contribution and its baselines.
+
+Exports the placement representation, the analytic shift-cost model, the
+inter-/intra-DBC heuristics, the genetic algorithm and the named
+end-to-end policies evaluated in the paper (AFD-OFU, DMA-OFU, DMA-Chen,
+DMA-SR, GA, RW).
+"""
+
+from repro.core.placement import Placement
+from repro.core.cost import shift_cost, per_dbc_shift_costs
+from repro.core.inter.afd import afd_partition, afd_placement
+from repro.core.inter.dma import dma_split, dma_partition, dma_placement, DMASplit
+from repro.core.inter.multiset import multiset_dma_partition, extract_disjoint_sets
+from repro.core.ga import GeneticPlacer, GAConfig
+from repro.core.random_walk import random_walk_search, random_placement
+from repro.core.exact import exact_optimal_placement
+from repro.core.policies import (
+    PAPER_POLICIES,
+    Policy,
+    available_policies,
+    get_policy,
+)
+from repro.core.program import (
+    ProgramPlacement,
+    best_program_placement,
+    evaluate_program,
+    fuse_sequences,
+    place_program,
+    per_sequence_reference,
+)
+from repro.core.bounds import intra_lower_bound, placement_lower_bound
+
+__all__ = [
+    "Placement",
+    "shift_cost",
+    "per_dbc_shift_costs",
+    "afd_partition",
+    "afd_placement",
+    "dma_split",
+    "dma_partition",
+    "dma_placement",
+    "DMASplit",
+    "multiset_dma_partition",
+    "extract_disjoint_sets",
+    "GeneticPlacer",
+    "GAConfig",
+    "random_walk_search",
+    "random_placement",
+    "exact_optimal_placement",
+    "Policy",
+    "get_policy",
+    "available_policies",
+    "PAPER_POLICIES",
+    "ProgramPlacement",
+    "place_program",
+    "best_program_placement",
+    "evaluate_program",
+    "fuse_sequences",
+    "per_sequence_reference",
+    "intra_lower_bound",
+    "placement_lower_bound",
+]

@@ -1,0 +1,88 @@
+"""Exact optimal multi-DBC placement for tiny instances.
+
+Finding the optimal placement is NP-complete [2]; the paper approximates
+the optimum with a long GA run. For instances of up to ~8 variables this
+module computes the true optimum by enumerating canonical set partitions
+of the variables over the DBCs (first occupant of each DBC in ascending
+variable order kills the DBC-permutation symmetry) and solving each DBC's
+intra-DBC ordering exactly with the minimum-linear-arrangement DP. Used
+by the test-suite to certify the heuristics' and GA's quality claims.
+"""
+
+from __future__ import annotations
+
+from repro.core.intra.optimal import optimal_order
+from repro.core.cost import shift_cost
+from repro.core.placement import Placement
+from repro.errors import SolverError
+from repro.trace.sequence import AccessSequence
+
+MAX_EXACT_TOTAL_VARS = 9
+
+
+def exact_optimal_placement(
+    sequence: AccessSequence,
+    num_dbcs: int,
+    capacity: int,
+    max_vars: int = MAX_EXACT_TOTAL_VARS,
+) -> tuple[Placement, int]:
+    """The provably cheapest placement and its cost (single-port model).
+
+    Empty DBCs are allowed (using fewer DBCs is sometimes optimal). The
+    search is exponential; ``max_vars`` guards against accidental misuse.
+    """
+    variables = list(sequence.variables)
+    n = len(variables)
+    if n > max_vars:
+        raise SolverError(
+            f"exact search limited to {max_vars} variables, got {n}"
+        )
+    if num_dbcs < 1 or capacity < 1:
+        raise SolverError("num_dbcs and capacity must be >= 1")
+    if n > num_dbcs * capacity:
+        raise SolverError(
+            f"{n} variables exceed {num_dbcs} DBCs x {capacity} locations"
+        )
+
+    best_cost: int | None = None
+    best_groups: list[list[str]] | None = None
+
+    groups: list[list[str]] = []
+
+    def assign(i: int) -> None:
+        nonlocal best_cost, best_groups
+        if i == n:
+            cost = 0
+            for group in groups:
+                if len(group) > 1:
+                    local = sequence.restricted_to(group)
+                    order = optimal_order(local, group)
+                    cost += shift_cost(local, Placement([order]))
+                    if best_cost is not None and cost >= best_cost:
+                        return
+            if best_cost is None or cost < best_cost:
+                best_cost = cost
+                best_groups = [list(g) for g in groups]
+            return
+        v = variables[i]
+        for g in groups:  # existing groups
+            if len(g) < capacity:
+                g.append(v)
+                assign(i + 1)
+                g.pop()
+        if len(groups) < num_dbcs:  # open a fresh group (canonical order)
+            groups.append([v])
+            assign(i + 1)
+            groups.pop()
+
+    assign(0)
+    if best_cost is None or best_groups is None:
+        raise SolverError("exact search found no feasible placement")
+    ordered = [
+        optimal_order(sequence.restricted_to(g), g) if len(g) > 1 else g
+        for g in best_groups
+    ]
+    while len(ordered) < num_dbcs:
+        ordered.append([])
+    placement = Placement(ordered)
+    return placement, int(best_cost)

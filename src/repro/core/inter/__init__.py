@@ -1,0 +1,20 @@
+"""Inter-DBC distribution strategies: the AFD baseline [2], the paper's
+DMA heuristic (Algorithm 1) and the future-work multi-set extension."""
+
+from repro.core.inter.afd import afd_order, afd_partition, afd_placement
+from repro.core.inter.dma import DMASplit, dma_split, dma_partition, dma_placement
+from repro.core.inter.multiset import extract_disjoint_sets, multiset_dma_partition
+from repro.core.inter.random_inter import random_partition
+
+__all__ = [
+    "afd_order",
+    "afd_partition",
+    "afd_placement",
+    "DMASplit",
+    "dma_split",
+    "dma_partition",
+    "dma_placement",
+    "extract_disjoint_sets",
+    "multiset_dma_partition",
+    "random_partition",
+]

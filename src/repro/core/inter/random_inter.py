@@ -1,0 +1,44 @@
+"""Uniformly random inter-DBC partitioning (RW building block)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CapacityError
+from repro.trace.sequence import AccessSequence
+from repro.util.rng import ensure_rng
+
+
+def random_partition(
+    sequence: AccessSequence,
+    num_dbcs: int,
+    capacity: int,
+    rng: int | np.random.Generator | None = None,
+) -> list[list[str]]:
+    """Assign each variable to a uniformly random non-full DBC.
+
+    Variables are processed in a random order and each picks uniformly
+    among DBCs with free locations, so both the partition and the
+    resulting intra-DBC insertion orders are random.
+    """
+    if num_dbcs < 1:
+        raise CapacityError(f"need at least one DBC, got {num_dbcs}")
+    if capacity < 1:
+        raise CapacityError(f"capacity must be >= 1, got {capacity}")
+    if sequence.num_variables > num_dbcs * capacity:
+        raise CapacityError(
+            f"{sequence.num_variables} variables exceed {num_dbcs} DBCs x "
+            f"{capacity} locations"
+        )
+    gen = ensure_rng(rng)
+    variables = list(sequence.variables)
+    gen.shuffle(variables)
+    dbcs: list[list[str]] = [[] for _ in range(num_dbcs)]
+    open_dbcs = list(range(num_dbcs))
+    for v in variables:
+        pick = int(gen.integers(0, len(open_dbcs)))
+        dbc_index = open_dbcs[pick]
+        dbcs[dbc_index].append(v)
+        if len(dbcs[dbc_index]) >= capacity:
+            open_dbcs.pop(pick)
+    return dbcs

@@ -1,0 +1,27 @@
+"""Order of first use (OFU): the classic offset-assignment baseline.
+
+Variables are placed in the order they are first accessed in the DBC's
+local subsequence; never-accessed variables keep their relative order at
+the end. The paper pairs OFU with both inter-DBC heuristics as the
+cheapest intra-DBC strategy (AFD-OFU, DMA-OFU).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.trace.liveness import Liveness
+from repro.trace.sequence import AccessSequence
+
+
+def ofu_order(sequence: AccessSequence, variables: Sequence[str]) -> list[str]:
+    """Place ``variables`` in order of first use in the local subsequence."""
+    variables = list(variables)
+    if len(variables) <= 1:
+        return variables
+    local = sequence.restricted_to(variables)
+    live = Liveness(local)
+    accessed = [v for v in variables if live.frequency(v) > 0]
+    unaccessed = [v for v in variables if live.frequency(v) == 0]
+    accessed.sort(key=live.first)
+    return accessed + unaccessed

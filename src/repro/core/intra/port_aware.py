@@ -1,0 +1,126 @@
+"""Port-aware sparse intra-DBC placement for multi-port tracks.
+
+The adjacency heuristics (Chen, SR, TSP) pack a DBC's variables into a
+dense block starting at location 0 — which is optimal for one port, but
+wastes multi-port tracks: with ``p`` ports spaced ``K/p`` apart, a long
+hop between two *clusters* of variables is nearly free when the clusters
+sit one port-pitch apart (the controller just switches ports). This
+heuristic exploits that: it orders variables with ShiftsReduce, splits
+the order into ``p`` contiguous runs (balanced by access frequency), and
+anchors run *j* centred on port *j* — leaving explicit holes between the
+runs (sparse :class:`~repro.core.placement.Placement` support).
+
+This extends the paper's "generalized for any port count" theme from the
+inter-DBC level down to intra-DBC layouts.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.intra.shifts_reduce import shifts_reduce_order
+from repro.errors import PlacementError
+from repro.rtm.ports import port_positions
+from repro.trace.sequence import AccessSequence
+
+
+def port_spread_layout(
+    sequence: AccessSequence,
+    variables: Sequence[str],
+    domains: int,
+    ports: int,
+) -> list[str | None]:
+    """A sparse DBC layout anchoring frequency-balanced runs at the ports.
+
+    Returns a list of length ``domains`` with ``None`` holes. With one
+    port (or when the variables don't fit sparsely) this degenerates to
+    the dense ShiftsReduce block.
+    """
+    variables = list(variables)
+    n = len(variables)
+    if n > domains:
+        raise PlacementError(
+            f"{n} variables cannot occupy a {domains}-domain track"
+        )
+    order = shifts_reduce_order(sequence, variables)
+    if ports <= 1 or n == 0 or n > domains - ports + 1:
+        return order  # dense fallback; nothing to gain / no room for holes
+    local = sequence.restricted_to(variables) if n else None
+    freq = {v: (local.frequency(v) if local else 0) for v in variables}
+    total = sum(freq.values()) or 1
+    positions = port_positions(domains, ports)
+
+    # Split the SR order into `ports` contiguous runs of roughly equal
+    # access mass, so each port serves a similar share of the traffic.
+    runs: list[list[str]] = []
+    run: list[str] = []
+    mass = 0.0
+    target = total / ports
+    remaining_runs = ports
+    for v in order:
+        run.append(v)
+        mass += freq[v]
+        if mass >= target and len(runs) < ports - 1:
+            runs.append(run)
+            run = []
+            mass = 0.0
+            remaining_runs -= 1
+    if run:
+        runs.append(run)
+    while len(runs) < ports:
+        runs.append([])
+
+    layout: list[str | None] = [None] * domains
+    cursor = 0  # first free location (runs are placed left to right)
+    for j, r in enumerate(runs):
+        if not r:
+            continue
+        start = max(cursor, positions[j] - len(r) // 2)
+        start = min(start, domains - _tail_size(runs, j))
+        for v in r:
+            layout[start] = v
+            start += 1
+        cursor = start
+    placed = [v for v in layout if v is not None]
+    if sorted(placed) != sorted(variables):  # pragma: no cover - invariant
+        raise PlacementError("port spreading lost variables (internal error)")
+    return layout
+
+
+def _tail_size(runs: list[list[str]], j: int) -> int:
+    """Locations needed for runs j..end (keeps later runs placeable)."""
+    return sum(len(r) for r in runs[j:])
+
+
+def port_aware_layout(
+    sequence: AccessSequence,
+    variables: Sequence[str],
+    domains: int,
+    ports: int,
+) -> list[str | None]:
+    """The better of dense ShiftsReduce and port-anchored spreading.
+
+    Measured finding (kept honest in the ablation bench): a dense block
+    already straddles several port regions on realistic fills, so
+    spreading usually *loses* — it pays off only when the traffic
+    alternates between a few hot clusters that can be pinned one
+    port-pitch apart. This wrapper evaluates both candidates under the
+    true multi-port cost and returns the cheaper, so it never does worse
+    than the dense heuristic.
+    """
+    from repro.core.cost import shift_cost
+    from repro.core.placement import Placement
+
+    variables = list(variables)
+    dense = shifts_reduce_order(sequence, variables)
+    if ports <= 1 or len(variables) <= 1:
+        return dense
+    spread = port_spread_layout(sequence, variables, domains, ports)
+    local = sequence.restricted_to(variables)
+    dense_cost = shift_cost(
+        local, Placement([dense]), ports=ports, domains=domains
+    )
+    spread_cost = shift_cost(
+        local, Placement([spread]), ports=ports, domains=domains
+    )
+    return spread if spread_cost < dense_cost else dense

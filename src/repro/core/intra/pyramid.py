@@ -1,0 +1,35 @@
+"""Frequency-pyramid intra-DBC placement (hot variables in the middle).
+
+The earliest DWM placement proposals (TapeCache-era, Sun et al.) order
+data purely by access count: the hottest variable sits at the centre of
+the track — nearest the access port's home — and colder variables
+alternate outwards. It ignores the access *order* entirely, which is
+precisely the information the paper shows to matter (Sec. II-B), so it
+serves as the adjacency-blind reference point between random order and
+the graph-based heuristics in the ablations.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Sequence
+
+from repro.trace.sequence import AccessSequence
+
+
+def pyramid_order(sequence: AccessSequence, variables: Sequence[str]) -> list[str]:
+    """Hottest variable in the middle, alternating left/right outwards."""
+    variables = list(variables)
+    if len(variables) <= 1:
+        return variables
+    local = sequence.restricted_to(variables)
+    freq = {v: local.frequency(v) for v in variables}
+    decl = {v: i for i, v in enumerate(variables)}
+    ranked = sorted(variables, key=lambda v: (-freq[v], decl[v]))
+    layout: deque[str] = deque()
+    for i, v in enumerate(ranked):
+        if i % 2 == 0:
+            layout.append(v)
+        else:
+            layout.appendleft(v)
+    return list(layout)

@@ -1,0 +1,23 @@
+"""Random intra-DBC order (building block of the RW baseline)."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.trace.sequence import AccessSequence
+from repro.util.rng import ensure_rng
+
+
+def random_order(
+    sequence: AccessSequence,
+    variables: Sequence[str],
+    rng: int | np.random.Generator | None = None,
+) -> list[str]:
+    """A uniformly random permutation of ``variables``."""
+    del sequence  # interface parity with the other heuristics
+    gen = ensure_rng(rng)
+    variables = list(variables)
+    gen.shuffle(variables)
+    return variables

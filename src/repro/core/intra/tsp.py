@@ -1,0 +1,118 @@
+"""TSP-flavoured intra-DBC placement, after Jünger & Mallach [4].
+
+Offset assignment is equivalent to finding a maximum-weight Hamiltonian
+path in the access graph (adjacent placement saves one shift per unit of
+edge weight). This heuristic builds that path greedily Kruskal-style —
+take edges in descending weight, joining path fragments — and then
+polishes the resulting order with 2-opt moves evaluated on the *true*
+local shift cost (which also accounts for non-adjacent distances the
+path abstraction ignores).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.placement import Placement
+from repro.core.cost import shift_cost
+from repro.trace.graph import AccessGraph
+from repro.trace.sequence import AccessSequence
+
+#: 2-opt is skipped beyond these sizes to keep the heuristic fast.
+_TWO_OPT_MAX_VARS = 48
+_TWO_OPT_MAX_ACCESSES = 4000
+_TWO_OPT_MAX_PASSES = 4
+
+
+def tsp_order(sequence: AccessSequence, variables: Sequence[str]) -> list[str]:
+    """Max-weight path construction followed by bounded 2-opt polishing."""
+    variables = list(variables)
+    if len(variables) <= 1:
+        return variables
+    local = sequence.restricted_to(variables)
+    order = _max_weight_path(local, variables)
+    if (
+        len(variables) <= _TWO_OPT_MAX_VARS
+        and len(local) <= _TWO_OPT_MAX_ACCESSES
+    ):
+        order = _two_opt(local, order)
+    return order
+
+
+def _max_weight_path(local: AccessSequence, variables: list[str]) -> list[str]:
+    graph = AccessGraph(local)
+    decl = {v: i for i, v in enumerate(variables)}
+    edges = sorted(
+        graph.edges(), key=lambda e: (-e[2], decl[e[0]], decl[e[1]])
+    )
+    # Union-find over path fragments; each vertex may gain at most 2 path
+    # neighbours and joining two ends of the same fragment would close a cycle.
+    parent = {v: v for v in variables}
+    degree = {v: 0 for v in variables}
+    adjacency: dict[str, list[str]] = {v: [] for v in variables}
+
+    def find(v: str) -> str:
+        while parent[v] != v:
+            parent[v] = parent[parent[v]]
+            v = parent[v]
+        return v
+
+    for u, v, _w in edges:
+        if degree[u] >= 2 or degree[v] >= 2:
+            continue
+        ru, rv = find(u), find(v)
+        if ru == rv:
+            continue
+        parent[ru] = rv
+        degree[u] += 1
+        degree[v] += 1
+        adjacency[u].append(v)
+        adjacency[v].append(u)
+    # Walk each fragment from an endpoint; isolated vertices become
+    # single-element fragments. Fragments are emitted in declaration order
+    # of their smallest endpoint for determinism.
+    visited: set[str] = set()
+    fragments: list[list[str]] = []
+    endpoints = sorted(
+        (v for v in variables if degree[v] <= 1), key=lambda v: decl[v]
+    )
+    for start in endpoints:
+        if start in visited:
+            continue
+        frag = [start]
+        visited.add(start)
+        prev, cur = None, start
+        while True:
+            nxt = next(
+                (n for n in adjacency[cur] if n != prev and n not in visited), None
+            )
+            if nxt is None:
+                break
+            frag.append(nxt)
+            visited.add(nxt)
+            prev, cur = cur, nxt
+        fragments.append(frag)
+    ordered = [v for frag in fragments for v in frag]
+    ordered += [v for v in variables if v not in visited]  # safety net
+    return ordered
+
+
+def _two_opt(local: AccessSequence, order: list[str]) -> list[str]:
+    def cost_of(o: list[str]) -> int:
+        return shift_cost(local, Placement([o]))
+
+    best = list(order)
+    best_cost = cost_of(best)
+    n = len(best)
+    for _ in range(_TWO_OPT_MAX_PASSES):
+        improved = False
+        for i in range(n - 1):
+            for j in range(i + 1, n):
+                candidate = best[:i] + best[i : j + 1][::-1] + best[j + 1 :]
+                c = cost_of(candidate)
+                if c < best_cost:
+                    best, best_cost = candidate, c
+                    improved = True
+        if not improved:
+            break
+    return best

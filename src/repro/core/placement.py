@@ -1,0 +1,172 @@
+"""The placement representation shared by every algorithm in the library.
+
+A :class:`Placement` is the paper's individual encoding (Sec. III-C): an
+ordered list of DBC assignments, where each DBC assignment is the ordered
+list of variables stored in that DBC — list position = intra-DBC location.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from functools import cached_property
+
+import numpy as np
+
+from repro.errors import CapacityError, PlacementError
+from repro.trace.sequence import AccessSequence
+
+
+class Placement:
+    """An immutable inter- plus intra-DBC variable placement.
+
+    ``dbcs[i][k]`` is the variable at location ``k`` of DBC ``i``. Every
+    variable appears exactly once across all DBCs. Entries may be
+    ``None``: an explicitly empty location (sparse layouts anchor
+    variable groups at specific track positions, e.g. around access
+    ports — see :mod:`repro.core.intra.port_aware`).
+    """
+
+    __slots__ = ("_dbcs", "_loc", "__dict__")
+
+    def __init__(self, dbcs: Iterable[Sequence[str | None]]) -> None:
+        self._dbcs: tuple[tuple[str | None, ...], ...] = tuple(
+            tuple(dbc) for dbc in dbcs
+        )
+        if not self._dbcs:
+            raise PlacementError("a placement needs at least one DBC")
+        loc: dict[str, tuple[int, int]] = {}
+        for i, dbc in enumerate(self._dbcs):
+            for k, v in enumerate(dbc):
+                if v is None:
+                    continue
+                if v in loc:
+                    raise PlacementError(f"variable {v!r} placed twice")
+                loc[v] = (i, k)
+        if not loc:
+            raise PlacementError("a placement must place at least one variable")
+        self._loc = loc
+
+    # -- protocol --------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Placement):
+            return NotImplemented
+        return self._dbcs == other._dbcs
+
+    def __hash__(self) -> int:
+        return hash(self._dbcs)
+
+    def __repr__(self) -> str:
+        sizes = ", ".join(str(len(d)) for d in self._dbcs)
+        return f"<Placement: {len(self._loc)} vars over {len(self._dbcs)} DBCs [{sizes}]>"
+
+    # -- accessors --------------------------------------------------------------
+
+    def dbc_lists(self) -> tuple[tuple[str | None, ...], ...]:
+        """Per-DBC ordered variable tuples (the controller's input).
+
+        ``None`` entries are explicitly empty locations.
+        """
+        return self._dbcs
+
+    @property
+    def num_dbcs(self) -> int:
+        return len(self._dbcs)
+
+    @cached_property
+    def variables(self) -> frozenset[str]:
+        return frozenset(self._loc)
+
+    def location_of(self, variable: str) -> tuple[int, int]:
+        """``(dbc_index, slot)`` of a variable."""
+        try:
+            return self._loc[variable]
+        except KeyError:
+            raise PlacementError(f"variable {variable!r} is not placed") from None
+
+    def dbc_of(self, variable: str) -> int:
+        return self.location_of(variable)[0]
+
+    def slot_of(self, variable: str) -> int:
+        return self.location_of(variable)[1]
+
+    # -- validation ---------------------------------------------------------------
+
+    def validate_for(
+        self,
+        sequence: AccessSequence,
+        num_dbcs: int | None = None,
+        capacity: int | None = None,
+    ) -> None:
+        """Check this placement covers ``sequence`` and fits the geometry.
+
+        Raises :class:`PlacementError` when the variable sets differ and
+        :class:`CapacityError` when a DBC exceeds ``capacity`` slots or
+        more than ``num_dbcs`` DBCs are used.
+        """
+        seq_vars = set(sequence.variables)
+        placed = set(self._loc)
+        if seq_vars != placed:
+            missing = sorted(seq_vars - placed)[:5]
+            extra = sorted(placed - seq_vars)[:5]
+            raise PlacementError(
+                f"placement/sequence variable mismatch (missing {missing}, "
+                f"extra {extra})"
+            )
+        if num_dbcs is not None and self.num_dbcs > num_dbcs:
+            raise CapacityError(
+                f"placement uses {self.num_dbcs} DBCs, device has {num_dbcs}"
+            )
+        if capacity is not None:
+            for i, dbc in enumerate(self._dbcs):
+                if len(dbc) > capacity:
+                    raise CapacityError(
+                        f"DBC {i} holds {len(dbc)} variables, capacity is {capacity}"
+                    )
+
+    # -- conversions -----------------------------------------------------------------
+
+    def as_arrays(self, sequence: AccessSequence) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized view: per-variable-code DBC index and slot arrays.
+
+        Both arrays are indexed by the sequence's variable codes, ready for
+        the numpy fast path of the cost model.
+        """
+        n = sequence.num_variables
+        dbc_of = np.full(n, -1, dtype=np.int64)
+        pos_of = np.full(n, -1, dtype=np.int64)
+        for v, (i, k) in self._loc.items():
+            if v in sequence:
+                code = sequence.index_of(v)
+                dbc_of[code] = i
+                pos_of[code] = k
+        if np.any(dbc_of < 0):
+            missing = [
+                sequence.variables[c] for c in np.flatnonzero(dbc_of < 0)[:5]
+            ]
+            raise PlacementError(f"unplaced sequence variables: {missing}")
+        return dbc_of, pos_of
+
+    def padded(self, num_dbcs: int) -> "Placement":
+        """Extend with empty DBCs up to ``num_dbcs`` (device width)."""
+        if num_dbcs < self.num_dbcs:
+            raise PlacementError(
+                f"cannot pad {self.num_dbcs} DBCs down to {num_dbcs}"
+            )
+        return Placement(self._dbcs + ((),) * (num_dbcs - self.num_dbcs))
+
+    def with_intra_order(
+        self, dbc_index: int, order: Sequence[str | None]
+    ) -> "Placement":
+        """Replace one DBC's intra order (must place the same variables)."""
+        if not 0 <= dbc_index < self.num_dbcs:
+            raise PlacementError(f"no DBC {dbc_index} in {self.num_dbcs}-DBC placement")
+        current = sorted(v for v in self._dbcs[dbc_index] if v is not None)
+        proposed = sorted(v for v in order if v is not None)
+        if current != proposed:
+            raise PlacementError(
+                f"new order for DBC {dbc_index} is not a permutation of its contents"
+            )
+        dbcs = list(self._dbcs)
+        dbcs[dbc_index] = tuple(order)
+        return Placement(dbcs)

@@ -1,0 +1,87 @@
+"""Random-walk search baseline (Sec. III-C).
+
+Generates independent uniformly random placements — random variable-to-
+DBC assignment plus random permutations within every DBC — and keeps the
+best. The paper runs it for 60000 iterations, the upper bound on the
+number of individuals its GA evaluates, to put the GA results in
+perspective (Fig. 4's ``RW`` series).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.cost import cost_from_arrays
+from repro.core.inter.random_inter import random_partition
+from repro.core.placement import Placement
+from repro.errors import SolverError
+from repro.trace.sequence import AccessSequence
+from repro.util.rng import ensure_rng
+
+#: The paper's iteration budget (= GA's 200 generations x (mu + lambda)
+#: evaluation upper bound, Sec. IV-A).
+DEFAULT_ITERATIONS = 60_000
+
+
+@dataclass
+class RandomWalkResult:
+    placement: Placement
+    cost: int
+    iterations: int
+    history: list[int]
+
+
+def random_placement(
+    sequence: AccessSequence,
+    num_dbcs: int,
+    capacity: int,
+    rng: int | np.random.Generator | None = None,
+) -> Placement:
+    """One uniformly random placement (partition + per-DBC order)."""
+    return Placement(random_partition(sequence, num_dbcs, capacity, rng))
+
+
+def random_walk_search(
+    sequence: AccessSequence,
+    num_dbcs: int,
+    capacity: int,
+    iterations: int = DEFAULT_ITERATIONS,
+    rng: int | np.random.Generator | None = None,
+    history_stride: int = 1000,
+) -> RandomWalkResult:
+    """Best of ``iterations`` random placements.
+
+    ``history_stride`` controls how often the best-so-far cost is sampled
+    into the result's history (for convergence plots).
+    """
+    if iterations < 1:
+        raise SolverError(f"iterations must be >= 1, got {iterations}")
+    gen = ensure_rng(rng)
+    codes = sequence.codes
+    n = sequence.num_variables
+    dbc_of = np.zeros(n, dtype=np.int64)
+    pos_of = np.zeros(n, dtype=np.int64)
+    best_cost: int | None = None
+    best_lists: list[list[str]] | None = None
+    history: list[int] = []
+    for it in range(iterations):
+        lists = random_partition(sequence, num_dbcs, capacity, gen)
+        for i, dbc in enumerate(lists):
+            for k, v in enumerate(dbc):
+                code = sequence.index_of(v)
+                dbc_of[code] = i
+                pos_of[code] = k
+        cost = cost_from_arrays(codes, dbc_of, pos_of, num_dbcs)
+        if best_cost is None or cost < best_cost:
+            best_cost, best_lists = cost, lists
+        if (it + 1) % history_stride == 0:
+            history.append(int(best_cost))
+    assert best_cost is not None and best_lists is not None
+    return RandomWalkResult(
+        placement=Placement(best_lists),
+        cost=int(best_cost),
+        iterations=iterations,
+        history=history,
+    )

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch library failures without also catching programming
+mistakes such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class TraceError(ReproError):
+    """A memory trace or access sequence is malformed."""
+
+
+class TraceFormatError(TraceError):
+    """A trace file could not be parsed."""
+
+
+class GeometryError(ReproError):
+    """An RTM configuration is inconsistent or physically impossible."""
+
+
+class PlacementError(ReproError):
+    """A placement is invalid for the given variables and geometry."""
+
+
+class CapacityError(PlacementError):
+    """The variables of a trace do not fit into the configured RTM."""
+
+
+class SimulationError(ReproError):
+    """The trace-driven simulator hit an inconsistent state."""
+
+
+class SolverError(ReproError):
+    """An optimization routine failed or was configured inconsistently."""
+
+
+class ExperimentError(ReproError):
+    """An experiment definition or its execution is inconsistent."""

@@ -1,0 +1,60 @@
+"""Experiment harness: regenerates every table and figure of Sec. IV."""
+
+from repro.eval.profiles import (
+    FULL_PROFILE,
+    QUICK_PROFILE,
+    SMOKE_PROFILE,
+    EvalProfile,
+    profile_from_env,
+)
+from repro.eval.runner import CellResult, run_matrix, run_policy_on_program
+from repro.eval.experiments import (
+    ExperimentResult,
+    experiment_fig3,
+    experiment_fig4,
+    experiment_fig5,
+    experiment_fig6,
+    experiment_sec4b_gap,
+    experiment_sec4c,
+    experiment_table1,
+)
+from repro.eval.reporting import render_experiment, save_experiment
+from repro.eval.ablations import (
+    ablation_dbc_sweep,
+    ablation_multiset,
+    ablation_ports,
+    ablation_swapping,
+)
+from repro.eval.charts import (
+    render_bar_chart,
+    render_series_chart,
+    render_stacked_chart,
+)
+
+__all__ = [
+    "ablation_ports",
+    "ablation_multiset",
+    "ablation_swapping",
+    "ablation_dbc_sweep",
+    "render_bar_chart",
+    "render_series_chart",
+    "render_stacked_chart",
+    "EvalProfile",
+    "QUICK_PROFILE",
+    "FULL_PROFILE",
+    "SMOKE_PROFILE",
+    "profile_from_env",
+    "CellResult",
+    "run_matrix",
+    "run_policy_on_program",
+    "ExperimentResult",
+    "experiment_table1",
+    "experiment_fig3",
+    "experiment_fig4",
+    "experiment_fig5",
+    "experiment_fig6",
+    "experiment_sec4c",
+    "experiment_sec4b_gap",
+    "render_experiment",
+    "save_experiment",
+]

@@ -1,0 +1,118 @@
+"""ASCII chart rendering — terminal-friendly stand-ins for the figures.
+
+The paper's figures are bar/line charts; the harness archives their data
+as tables, and these helpers render the same data as horizontal bar
+charts (optionally stacked, for Fig. 5's energy breakdown) so the shape
+of each result is visible directly in the benchmark log.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.errors import ExperimentError
+
+#: Glyphs for stacked-bar segments, in series order.
+_SEGMENT_GLYPHS = "#=+*o%"
+
+
+def render_bar_chart(
+    items: Sequence[tuple[str, float]],
+    width: int = 48,
+    title: str | None = None,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart of (label, value) pairs.
+
+    Values must be non-negative; bars are scaled to the maximum.
+    """
+    if not items:
+        raise ExperimentError("cannot chart zero items")
+    if any(v < 0 for _, v in items):
+        raise ExperimentError("bar chart values must be non-negative")
+    peak = max(v for _, v in items) or 1.0
+    label_width = max(len(label) for label, _ in items)
+    lines = [title] if title else []
+    for label, value in items:
+        bar = "#" * max(1 if value > 0 else 0, round(width * value / peak))
+        lines.append(
+            f"{label.ljust(label_width)} |{bar.ljust(width)}| "
+            f"{value:.3g}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def render_stacked_chart(
+    rows: Sequence[tuple[str, Mapping[str, float]]],
+    width: int = 48,
+    title: str | None = None,
+) -> str:
+    """Stacked horizontal bars (e.g. Fig. 5's leakage/rw/shift split).
+
+    All rows are scaled against the largest row total; a legend maps each
+    series to its glyph.
+    """
+    if not rows:
+        raise ExperimentError("cannot chart zero rows")
+    series: list[str] = []
+    for _, parts in rows:
+        for name in parts:
+            if name not in series:
+                series.append(name)
+    if len(series) > len(_SEGMENT_GLYPHS):
+        raise ExperimentError(
+            f"at most {len(_SEGMENT_GLYPHS)} series supported, got {len(series)}"
+        )
+    glyph = {name: _SEGMENT_GLYPHS[i] for i, name in enumerate(series)}
+    totals = [sum(parts.values()) for _, parts in rows]
+    if any(t < 0 for t in totals):
+        raise ExperimentError("stacked chart values must be non-negative")
+    peak = max(totals) or 1.0
+    label_width = max(len(label) for label, _ in rows)
+    lines = [title] if title else []
+    for (label, parts), total in zip(rows, totals):
+        bar = ""
+        for name in series:
+            value = parts.get(name, 0.0)
+            bar += glyph[name] * round(width * value / peak)
+        lines.append(
+            f"{label.ljust(label_width)} |{bar.ljust(width)}| {total:.3g}"
+        )
+    legend = "  ".join(f"{glyph[name]}={name}" for name in series)
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)
+
+
+def render_series_chart(
+    x_labels: Sequence[str],
+    series: Mapping[str, Sequence[float]],
+    width: int = 48,
+    title: str | None = None,
+) -> str:
+    """Grouped bars: one block per x position, one bar per series.
+
+    The shape Fig. 6 uses (metrics on x, one bar per DBC count).
+    """
+    if not x_labels or not series:
+        raise ExperimentError("need at least one x position and one series")
+    for name, values in series.items():
+        if len(values) != len(x_labels):
+            raise ExperimentError(
+                f"series {name!r} has {len(values)} values for "
+                f"{len(x_labels)} x positions"
+            )
+    lines = [title] if title else []
+    flat = [v for values in series.values() for v in values]
+    if any(v < 0 for v in flat):
+        raise ExperimentError("series values must be non-negative")
+    peak = max(flat) or 1.0
+    name_width = max(len(n) for n in series)
+    for i, x in enumerate(x_labels):
+        lines.append(f"{x}:")
+        for name, values in series.items():
+            value = values[i]
+            bar = "#" * max(1 if value > 0 else 0, round(width * value / peak))
+            lines.append(
+                f"  {name.ljust(name_width)} |{bar.ljust(width)}| {value:.3g}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,70 @@
+"""Metric helpers specific to the evaluation harness.
+
+Thin layer over :mod:`repro.util.mathx` that understands the matrix
+layout of :mod:`repro.eval.runner` — used by the benchmark harness and
+handy for downstream analyses.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.eval.runner import CellResult
+from repro.util.mathx import geometric_mean
+
+Matrix = dict[tuple[str, str, int], CellResult]
+
+
+def benchmarks_of(matrix: Matrix) -> list[str]:
+    return sorted({k[0] for k in matrix})
+
+
+def policies_of(matrix: Matrix) -> list[str]:
+    return sorted({k[1] for k in matrix})
+
+
+def dbc_counts_of(matrix: Matrix) -> list[int]:
+    return sorted({k[2] for k in matrix})
+
+
+def shift_ratio(
+    matrix: Matrix, benchmark: str, numerator: str, denominator: str, dbcs: int
+) -> float:
+    """Per-benchmark shift-cost ratio between two policies (0/0 = parity)."""
+    num = matrix[(benchmark, numerator, dbcs)].shifts
+    den = matrix[(benchmark, denominator, dbcs)].shifts
+    if den > 0:
+        return num / den
+    return 1.0 if num == 0 else float(num)
+
+
+def geomean_shift_ratio(
+    matrix: Matrix, numerator: str, denominator: str, dbcs: int,
+    benchmarks: Sequence[str] | None = None,
+) -> float:
+    """Suite-level geometric-mean shift ratio (the Fig. 4 aggregate)."""
+    names = list(benchmarks) if benchmarks is not None else benchmarks_of(matrix)
+    return geometric_mean(
+        shift_ratio(matrix, b, numerator, denominator, dbcs) for b in names
+    )
+
+
+def total_metric(
+    matrix: Matrix, policy: str, dbcs: int, metric: str,
+    benchmarks: Sequence[str] | None = None,
+) -> float:
+    """Sum a :class:`CellResult` metric over the suite.
+
+    ``metric`` is one of ``shifts``, ``runtime_ns``, ``total_energy_pj``
+    or any :class:`~repro.rtm.report.SimReport` float attribute prefixed
+    with ``report.`` (e.g. ``report.leakage_energy_pj``).
+    """
+    names = list(benchmarks) if benchmarks is not None else benchmarks_of(matrix)
+    total = 0.0
+    for b in names:
+        cell = matrix[(b, policy, dbcs)]
+        if metric.startswith("report."):
+            total += float(getattr(cell.report, metric[len("report."):]))
+        else:
+            total += float(getattr(cell, metric))
+    return total

@@ -1,0 +1,80 @@
+"""Evaluation profiles: how much of the full matrix to run.
+
+The paper's full setup (31 programs, GA with 200 generations of 100+100,
+RW with 60000 iterations, four RTM configurations) is hours of compute in
+pure Python. Profiles scale the suite and the search budgets while
+keeping every code path identical:
+
+* ``full``   — the paper's parameters, unabridged.
+* ``quick``  — scaled suite and search budgets; minutes, same shapes.
+  This is the default for the benchmark harness.
+* ``smoke``  — a handful of programs, seconds; used by the test-suite.
+
+Select via ``REPRO_PROFILE=quick|full|smoke`` or pass a profile object
+explicitly.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.errors import ExperimentError
+from repro.trace.generators.offsetstone import OFFSETSTONE_NAMES
+
+
+@dataclass(frozen=True)
+class EvalProfile:
+    """Scaling knobs for one evaluation run."""
+
+    name: str
+    suite_scale: float
+    ga_options: dict = field(default_factory=dict)
+    rw_iterations: int = 60_000
+    seed: int = 7
+    benchmarks: tuple[str, ...] = OFFSETSTONE_NAMES
+    write_ratio: float = 0.25
+
+    def describe(self) -> str:
+        ga = ", ".join(f"{k}={v}" for k, v in sorted(self.ga_options.items()))
+        return (
+            f"profile {self.name!r}: {len(self.benchmarks)} benchmarks at "
+            f"scale {self.suite_scale}, GA({ga or 'paper defaults'}), "
+            f"RW {self.rw_iterations} iters, seed {self.seed}"
+        )
+
+
+FULL_PROFILE = EvalProfile(
+    name="full",
+    suite_scale=1.0,
+    ga_options={},  # mu=lam=100, 200 generations (Sec. IV-A)
+    rw_iterations=60_000,
+)
+
+QUICK_PROFILE = EvalProfile(
+    name="quick",
+    suite_scale=0.25,
+    ga_options={"mu": 24, "lam": 24, "generations": 30, "patience": 12},
+    rw_iterations=1_440,  # matched to the GA's evaluation upper bound
+)
+
+SMOKE_PROFILE = EvalProfile(
+    name="smoke",
+    suite_scale=0.12,
+    ga_options={"mu": 12, "lam": 12, "generations": 10, "patience": 5},
+    rw_iterations=132,
+    benchmarks=("adpcm", "bison", "jpeg", "viterbi"),
+)
+
+_PROFILES = {p.name: p for p in (FULL_PROFILE, QUICK_PROFILE, SMOKE_PROFILE)}
+
+
+def profile_from_env(default: str = "quick") -> EvalProfile:
+    """Resolve the profile from ``REPRO_PROFILE`` (default ``quick``)."""
+    name = os.environ.get("REPRO_PROFILE", default).strip().lower()
+    try:
+        return _PROFILES[name]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown REPRO_PROFILE {name!r}; choose from {sorted(_PROFILES)}"
+        ) from None

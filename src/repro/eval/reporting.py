@@ -1,0 +1,53 @@
+"""Rendering and archival of experiment results."""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.eval.experiments import ExperimentResult
+from repro.util.tables import format_table
+
+#: Where benchmark harnesses archive rendered experiments.
+DEFAULT_RESULTS_DIR = Path(
+    os.environ.get("REPRO_RESULTS_DIR", "results")
+)
+
+
+def render_experiment(result: ExperimentResult, max_rows: int | None = None) -> str:
+    """Human-readable report: the table plus paper-vs-measured lines."""
+    rows = result.rows if max_rows is None else result.rows[:max_rows]
+    parts = [format_table(result.header, rows, title=result.title)]
+    if max_rows is not None and len(result.rows) > max_rows:
+        parts.append(f"... ({len(result.rows) - max_rows} more rows)")
+    if result.paper:
+        parts.append("")
+        parts.append("paper vs measured:")
+        for key, expected in result.paper.items():
+            measured = result.summary.get(key)
+            shown = "n/a" if measured is None else f"{measured:.4g}"
+            parts.append(f"  {key:<28} paper={expected:<10.4g} measured={shown}")
+    extras = {k: v for k, v in result.summary.items() if k not in result.paper}
+    if extras:
+        parts.append("")
+        parts.append("additional measurements:")
+        for key in sorted(extras):
+            parts.append(f"  {key:<28} {extras[key]:.4g}")
+    if result.notes:
+        parts.append("")
+        parts.append(f"notes: {result.notes}")
+    return "\n".join(parts)
+
+
+def save_experiment(
+    result: ExperimentResult,
+    results_dir: str | Path | None = None,
+    max_rows: int | None = None,
+) -> Path:
+    """Write the rendered report to ``<results_dir>/<experiment_id>.txt``."""
+    directory = Path(results_dir) if results_dir is not None else DEFAULT_RESULTS_DIR
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{result.experiment_id}.txt"
+    path.write_text(render_experiment(result, max_rows=max_rows) + "\n",
+                    encoding="utf-8")
+    return path

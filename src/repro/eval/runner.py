@@ -1,0 +1,123 @@
+"""Matrix runner: (benchmark program x RTM configuration x policy).
+
+One *cell* places and simulates every access sequence of a program under
+one policy on one configuration, summing analytic shifts and simulator
+reports — the quantity Figs. 4-6 aggregate.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.core.cost import shift_cost
+from repro.core.policies import Policy, get_policy
+from repro.eval.profiles import EvalProfile, QUICK_PROFILE
+from repro.rtm.geometry import RTMConfig, iso_capacity_sweep
+from repro.rtm.report import SimReport
+from repro.rtm.sim import simulate
+from repro.rtm.timing import params_for
+from repro.trace.generators.offsetstone import BenchmarkProgram, load_benchmark
+from repro.util.rng import ensure_rng, spawn_rng
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """Aggregated outcome of one (program, policy, configuration) cell."""
+
+    benchmark: str
+    policy: str
+    dbcs: int
+    shifts: int
+    report: SimReport
+
+    @property
+    def runtime_ns(self) -> float:
+        return self.report.runtime_ns
+
+    @property
+    def total_energy_pj(self) -> float:
+        return self.report.total_energy_pj
+
+
+def run_policy_on_program(
+    program: BenchmarkProgram,
+    policy: Policy,
+    config: RTMConfig,
+    rng=None,
+) -> CellResult:
+    """Place and simulate every sequence of ``program`` independently."""
+    gen = ensure_rng(rng)
+    params = params_for(config)
+    capacity = config.locations_per_dbc
+    total_shifts = 0
+    total_report: SimReport | None = None
+    for trace in program.traces:
+        seq = trace.sequence
+        placement = policy.place(seq, config.dbcs, capacity, rng=gen)
+        placement.validate_for(seq, num_dbcs=config.dbcs, capacity=capacity)
+        total_shifts += shift_cost(seq, placement)
+        report = simulate(trace, placement, config, params=params)
+        total_report = report if total_report is None else total_report + report
+    assert total_report is not None
+    return CellResult(
+        benchmark=program.name,
+        policy=policy.name,
+        dbcs=config.dbcs,
+        shifts=total_shifts,
+        report=total_report,
+    )
+
+
+def build_policies(names: Sequence[str], profile: EvalProfile) -> list[Policy]:
+    """Instantiate policies with the profile's search budgets applied."""
+    policies = []
+    for name in names:
+        if name == "GA":
+            policies.append(get_policy("GA", **profile.ga_options))
+        elif name == "RW":
+            policies.append(get_policy("RW", iterations=profile.rw_iterations))
+        else:
+            policies.append(get_policy(name))
+    return policies
+
+
+def load_suite(profile: EvalProfile) -> list[BenchmarkProgram]:
+    """The profile's benchmark programs."""
+    return [
+        load_benchmark(
+            name,
+            scale=profile.suite_scale,
+            seed=profile.seed,
+            write_ratio=profile.write_ratio,
+        )
+        for name in profile.benchmarks
+    ]
+
+
+def run_matrix(
+    policy_names: Sequence[str],
+    profile: EvalProfile = QUICK_PROFILE,
+    configs: Iterable[RTMConfig] | None = None,
+    programs: Sequence[BenchmarkProgram] | None = None,
+) -> dict[tuple[str, str, int], CellResult]:
+    """Run the full (program x config x policy) matrix.
+
+    Results are keyed by ``(benchmark, policy, dbcs)``. Every cell gets an
+    independent deterministic RNG stream derived from the profile seed, so
+    sub-matrices reproduce the full matrix's cells exactly.
+    """
+    programs = list(programs) if programs is not None else load_suite(profile)
+    configs = list(configs) if configs is not None else iso_capacity_sweep()
+    policies = build_policies(policy_names, profile)
+    master = ensure_rng(profile.seed)
+    streams = spawn_rng(master, len(programs) * len(configs) * len(policies))
+    results: dict[tuple[str, str, int], CellResult] = {}
+    i = 0
+    for program in programs:
+        for config in configs:
+            for policy in policies:
+                cell = run_policy_on_program(program, policy, config, streams[i])
+                results[(program.name, policy.name, config.dbcs)] = cell
+                i += 1
+    return results

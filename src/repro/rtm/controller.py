@@ -1,0 +1,125 @@
+"""The RTM controller: maps variables to physical locations and executes
+accesses against per-DBC device state.
+
+This is the piece RTSim plays in the paper's flow: it receives a memory
+trace and a placement, drives the shift machinery, and accounts latency
+and energy using the DESTINY-calibrated parameters.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PlacementError, SimulationError
+from repro.rtm.device import DBCState
+from repro.rtm.geometry import RTMConfig
+from repro.rtm.ports import PortPolicy
+from repro.rtm.report import SimReport
+from repro.rtm.timing import MemoryParams, params_for
+from repro.trace.trace import MemoryTrace
+
+
+class RTMController:
+    """Executes traces against an RTM configuration under a placement.
+
+    Parameters
+    ----------
+    config:
+        The RTM geometry.
+    placement:
+        Anything exposing ``dbc_lists() -> sequence of ordered variable
+        name lists`` (one per DBC, slot order = list order); the core
+        package's ``Placement`` satisfies this.
+    params:
+        Calibrated parameters; derived from ``config`` when omitted.
+    port_policy:
+        Port selection behaviour (nearest by default).
+    warm_start:
+        Whether each DBC's first access aligns for free (the paper's cost
+        convention; see DESIGN.md §6).
+    """
+
+    def __init__(
+        self,
+        config: RTMConfig,
+        placement,
+        params: MemoryParams | None = None,
+        port_policy: PortPolicy = PortPolicy.NEAREST,
+        warm_start: bool = True,
+    ) -> None:
+        dbc_lists = [list(d) for d in placement.dbc_lists()]
+        if len(dbc_lists) > config.dbcs:
+            raise PlacementError(
+                f"placement uses {len(dbc_lists)} DBCs but the device has "
+                f"{config.dbcs}"
+            )
+        self._location: dict[str, tuple[int, int]] = {}
+        for dbc_index, variables in enumerate(dbc_lists):
+            if len(variables) > config.locations_per_dbc:
+                raise PlacementError(
+                    f"DBC {dbc_index} holds {len(variables)} variables but has "
+                    f"only {config.locations_per_dbc} locations"
+                )
+            for slot, name in enumerate(variables):
+                if name is None:  # explicitly empty location
+                    continue
+                if name in self._location:
+                    raise PlacementError(f"variable {name!r} placed twice")
+                self._location[name] = (dbc_index, slot)
+        self.config = config
+        self.params = params or params_for(config)
+        self.port_policy = port_policy
+        self.warm_start = warm_start
+        self._dbcs = [
+            DBCState(config.domains_per_track, config.ports_per_track)
+            for _ in range(config.dbcs)
+        ]
+
+    # -- execution -----------------------------------------------------------
+
+    def location_of(self, variable: str) -> tuple[int, int]:
+        """Physical ``(dbc, slot)`` of a variable."""
+        try:
+            return self._location[variable]
+        except KeyError:
+            raise SimulationError(f"variable {variable!r} has no location") from None
+
+    def execute(self, trace: MemoryTrace) -> SimReport:
+        """Run one trace to completion and report counters and energy."""
+        p = self.params
+        reads = writes = shifts = 0
+        runtime = 0.0
+        for name, is_write in trace.operations():
+            dbc_index, slot = self.location_of(name)
+            moved = self._dbcs[dbc_index].access(
+                slot, policy=self.port_policy, warm_start=self.warm_start
+            )
+            shifts += moved
+            runtime += moved * p.shift_latency_ns
+            if is_write:
+                writes += 1
+                runtime += p.write_latency_ns
+            else:
+                reads += 1
+                runtime += p.read_latency_ns
+        return SimReport(
+            dbcs=self.config.dbcs,
+            accesses=reads + writes,
+            reads=reads,
+            writes=writes,
+            shifts=shifts,
+            runtime_ns=runtime,
+            read_energy_pj=reads * p.read_energy_pj,
+            write_energy_pj=writes * p.write_energy_pj,
+            shift_energy_pj=shifts * p.shift_energy_pj,
+            leakage_energy_pj=p.leakage_mw * runtime,
+            area_mm2=p.area_mm2,
+            per_dbc_shifts=tuple(d.shifts for d in self._dbcs),
+        )
+
+    def reset(self) -> None:
+        """Return all DBCs to the unaligned initial state."""
+        for d in self._dbcs:
+            d.reset()
+
+    @property
+    def total_shifts(self) -> int:
+        return sum(d.shifts for d in self._dbcs)

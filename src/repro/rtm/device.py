@@ -1,0 +1,76 @@
+"""Per-DBC device state: track alignment and shift execution.
+
+All ``T`` tracks of a DBC shift in lock-step, so one offset models the
+whole cluster. The offset is bounded: a track of ``K`` domains with a
+port at position ``P`` can align locations ``0..K-1``, so the offset
+stays within ``[-(K-1), K-1]`` — the device enforces this physically
+sensible envelope and flags violations as simulation bugs.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.rtm.ports import PortPolicy, port_positions, select_port
+
+
+class DBCState:
+    """Mutable shift state of one DBC during simulation."""
+
+    __slots__ = ("domains", "positions", "offset", "aligned", "shifts",
+                 "accesses", "max_excursion")
+
+    def __init__(self, domains: int, ports: int = 1) -> None:
+        self.domains = domains
+        self.positions = port_positions(domains, ports)
+        self.offset = 0
+        #: False until the first access (supports the paper's cost
+        #: convention that the port starts aligned with the first access).
+        self.aligned = False
+        self.shifts = 0
+        self.accesses = 0
+        self.max_excursion = 0
+
+    def access(
+        self,
+        location: int,
+        policy: PortPolicy = PortPolicy.NEAREST,
+        warm_start: bool = True,
+    ) -> int:
+        """Shift ``location`` under a port; returns the shifts performed.
+
+        With ``warm_start`` the very first access aligns for free, which is
+        the cost convention fixed by the paper's Fig. 3 arithmetic; without
+        it the initial alignment from offset 0 is charged like any other.
+        """
+        if not 0 <= location < self.domains:
+            raise SimulationError(
+                f"location {location} outside track of {self.domains} domains"
+            )
+        first = not self.aligned
+        _port, delta = select_port(self.positions, self.offset, location, policy)
+        self.offset += delta
+        if first and warm_start:
+            delta = 0  # track is modelled as pre-positioned: free alignment
+        self.aligned = True
+        cost = abs(delta)
+        self.shifts += cost
+        self.accesses += 1
+        self.max_excursion = max(self.max_excursion, abs(self.offset))
+        self._check_envelope()
+        return cost
+
+    def _check_envelope(self) -> None:
+        # offset = location - port_position with both in [0, K-1], so any
+        # reachable state satisfies |offset| <= K-1.
+        if abs(self.offset) > self.domains - 1:
+            raise SimulationError(
+                f"track offset {self.offset} exceeds physical envelope "
+                f"for {self.domains} domains"
+            )
+
+    def reset(self) -> None:
+        self.offset = 0
+        self.aligned = False
+        self.shifts = 0
+        self.accesses = 0
+        self.max_excursion = 0

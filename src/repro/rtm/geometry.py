@@ -1,0 +1,138 @@
+"""RTM geometry: banks -> subarrays -> DBCs -> tracks -> domains.
+
+The evaluation uses iso-capacity 4 KiB subarrays with 32 tracks per DBC
+(Table I): 2/4/8/16 DBCs with 512/256/128/64 domains per track. A memory
+object (program variable) is bit-interleaved over the ``T`` tracks of a
+DBC, so each variable occupies exactly one *location* (domain index) and
+a DBC offers ``domains_per_track`` variable slots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import GeometryError
+
+#: The DBC counts evaluated throughout the paper (Table I, Figs. 4-6).
+TABLE1_DBC_COUNTS: tuple[int, ...] = (2, 4, 8, 16)
+
+
+@dataclass(frozen=True)
+class RTMConfig:
+    """Geometry of one RTM subarray (the unit the paper evaluates).
+
+    Attributes
+    ----------
+    dbcs:
+        Number of domain block clusters, ``q`` in Algorithm 1.
+    tracks_per_dbc:
+        Nanotracks grouped per DBC (``T``); one bit of a variable per track.
+    domains_per_track:
+        Domains (bits) per nanotrack (``K``); equals the variable capacity
+        ``N`` of a DBC.
+    ports_per_track:
+        Access ports per track. The paper's generalized heuristics work
+        for any count; Chen's original multi-DBC heuristic assumed >= 2.
+    banks / subarrays:
+        Higher organisational levels; kept for capacity accounting.
+    """
+
+    dbcs: int
+    tracks_per_dbc: int = 32
+    domains_per_track: int = 64
+    ports_per_track: int = 1
+    banks: int = 1
+    subarrays: int = 1
+
+    def __post_init__(self) -> None:
+        for field in ("dbcs", "tracks_per_dbc", "domains_per_track",
+                      "ports_per_track", "banks", "subarrays"):
+            value = getattr(self, field)
+            if not isinstance(value, int) or value < 1:
+                raise GeometryError(f"{field} must be a positive int, got {value!r}")
+        if self.ports_per_track > self.domains_per_track:
+            raise GeometryError(
+                f"{self.ports_per_track} ports cannot serve only "
+                f"{self.domains_per_track} domains per track"
+            )
+
+    # -- capacity ------------------------------------------------------------
+
+    @property
+    def locations_per_dbc(self) -> int:
+        """Variable slots per DBC (= N in Algorithm 1)."""
+        return self.domains_per_track
+
+    @property
+    def total_locations(self) -> int:
+        """Variable slots in one subarray (= q * N)."""
+        return self.dbcs * self.domains_per_track
+
+    @property
+    def bits_per_subarray(self) -> int:
+        return self.dbcs * self.tracks_per_dbc * self.domains_per_track
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Total capacity over all banks and subarrays."""
+        bits = self.bits_per_subarray * self.subarrays * self.banks
+        return bits // 8
+
+    @property
+    def word_bytes(self) -> int:
+        """Bytes per variable location (one bit per track)."""
+        return self.tracks_per_dbc // 8 if self.tracks_per_dbc % 8 == 0 else 0
+
+    # -- derived -------------------------------------------------------------
+
+    @property
+    def max_shift_distance(self) -> int:
+        """Worst-case shifts for a single access (single-port track)."""
+        return self.domains_per_track - 1
+
+    def with_ports(self, ports_per_track: int) -> "RTMConfig":
+        return replace(self, ports_per_track=ports_per_track)
+
+    def describe(self) -> str:
+        return (
+            f"{self.dbcs} DBCs x {self.tracks_per_dbc} tracks x "
+            f"{self.domains_per_track} domains, {self.ports_per_track} port(s)/track "
+            f"({self.capacity_bytes} B)"
+        )
+
+
+def iso_capacity_sweep(
+    capacity_bytes: int = 4096,
+    tracks_per_dbc: int = 32,
+    dbc_counts: tuple[int, ...] = TABLE1_DBC_COUNTS,
+    ports_per_track: int = 1,
+) -> list[RTMConfig]:
+    """Build the iso-capacity configuration sweep of Table I.
+
+    For each DBC count, domains per track are chosen so that total capacity
+    stays constant: 4 KiB with 32 tracks/DBC gives 512/256/128/64 domains
+    for 2/4/8/16 DBCs, exactly Table I's first two rows.
+    """
+    total_bits = capacity_bytes * 8
+    configs = []
+    for q in dbc_counts:
+        per_track = total_bits // (q * tracks_per_dbc)
+        if per_track * q * tracks_per_dbc != total_bits:
+            raise GeometryError(
+                f"capacity {capacity_bytes} B does not divide evenly into "
+                f"{q} DBCs x {tracks_per_dbc} tracks"
+            )
+        if per_track < 1:
+            raise GeometryError(
+                f"capacity {capacity_bytes} B too small for {q} DBCs x "
+                f"{tracks_per_dbc} tracks"
+            )
+        configs.append(
+            RTMConfig(
+                dbcs=q,
+                tracks_per_dbc=tracks_per_dbc,
+                domains_per_track=per_track,
+                ports_per_track=ports_per_track,
+            )
+        )
+    return configs

@@ -1,0 +1,113 @@
+"""Shift-induced wear accounting and imbalance metrics.
+
+Every RTM shift pushes current through a nanowire; wear concentrates on
+the DBCs that shift most. Placement changes not only *how many* shifts
+happen but *where*: a layout that funnels all traffic through one DBC
+ages it first even if total shifts are low. This module summarizes the
+per-DBC shift distribution of a simulation into standard imbalance
+metrics (max/mean ratio, coefficient of variation, Gini) and estimates
+lifetime under a per-DBC shift endurance budget, so the evaluation can
+compare policies on endurance as well as energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.rtm.report import SimReport
+
+
+@dataclass(frozen=True)
+class WearReport:
+    """Wear summary derived from a simulation's per-DBC shift counts."""
+
+    per_dbc_shifts: tuple[int, ...]
+    total_shifts: int
+    max_shifts: int
+    mean_shifts: float
+    #: max / mean — 1.0 is perfectly level, q is worst (all in one DBC).
+    imbalance: float
+    #: standard deviation / mean (0 when level).
+    coefficient_of_variation: float
+    #: Gini coefficient of the distribution (0 level .. ~1 concentrated).
+    gini: float
+
+    def lifetime_fraction(self, endurance_shifts: int) -> float:
+        """Fraction of the endurance budget left on the most-worn DBC.
+
+        With a per-DBC budget of ``endurance_shifts``, the array fails
+        when its busiest DBC does; a perfectly levelled layout would
+        survive ``imbalance`` times longer at the same total traffic.
+        """
+        if endurance_shifts <= 0:
+            raise SimulationError("endurance budget must be positive")
+        return max(0.0, 1.0 - self.max_shifts / endurance_shifts)
+
+
+def wear_report(report: SimReport) -> WearReport:
+    """Summarize a simulation's per-DBC shift distribution."""
+    per_dbc = report.per_dbc_shifts
+    if not per_dbc:
+        raise SimulationError(
+            "report carries no per-DBC shift counts (was it combined from "
+            "incompatible reports?)"
+        )
+    counts = np.asarray(per_dbc, dtype=float)
+    total = float(counts.sum())
+    mean = float(counts.mean())
+    if total == 0:
+        return WearReport(
+            per_dbc_shifts=tuple(per_dbc),
+            total_shifts=0,
+            max_shifts=0,
+            mean_shifts=0.0,
+            imbalance=1.0,
+            coefficient_of_variation=0.0,
+            gini=0.0,
+        )
+    return WearReport(
+        per_dbc_shifts=tuple(per_dbc),
+        total_shifts=int(total),
+        max_shifts=int(counts.max()),
+        mean_shifts=mean,
+        imbalance=float(counts.max() / mean),
+        coefficient_of_variation=float(counts.std() / mean),
+        gini=_gini(counts),
+    )
+
+
+def _gini(values: np.ndarray) -> float:
+    """Gini coefficient of a non-negative distribution."""
+    if np.any(values < 0):
+        raise SimulationError("wear counts cannot be negative")
+    total = values.sum()
+    if total == 0:
+        return 0.0
+    sorted_values = np.sort(values)
+    n = values.size
+    ranks = np.arange(1, n + 1)
+    return float(
+        (2.0 * np.sum(ranks * sorted_values) / (n * total)) - (n + 1) / n
+    )
+
+
+def rotate_placement(placement, turns: int = 1):
+    """Wear-levelling rotation: shift the DBC role assignment cyclically.
+
+    Running successive sequences with rotated DBC roles spreads the hot
+    DBC's traffic across the array over time without touching the
+    intra-DBC orders (the cost is unchanged — DBC identity is
+    cost-irrelevant, which the cost model's permutation-invariance
+    property guarantees).
+    """
+    from repro.core.placement import Placement
+
+    lists = list(placement.dbc_lists())
+    if not lists:
+        return placement
+    turns %= len(lists)
+    rotated = lists[turns:] + lists[:turns]
+    return Placement(rotated)

@@ -1,0 +1,27 @@
+"""Memory-trace substrate: access sequences, graphs, liveness, generators.
+
+This package models the inputs of the data-placement problem exactly as
+the paper consumes them (Sec. II-B): a set of program variables ``V`` and
+an access sequence ``S`` over ``V``, optionally annotated with read/write
+direction for energy accounting.
+"""
+
+from repro.trace.sequence import AccessSequence
+from repro.trace.trace import MemoryTrace
+from repro.trace.graph import AccessGraph
+from repro.trace.liveness import Liveness
+from repro.trace.io import read_traces, write_traces, parse_traces, render_traces
+from repro.trace.stats import TraceStats, analyze
+
+__all__ = [
+    "TraceStats",
+    "analyze",
+    "AccessSequence",
+    "MemoryTrace",
+    "AccessGraph",
+    "Liveness",
+    "read_traces",
+    "write_traces",
+    "parse_traces",
+    "render_traces",
+]

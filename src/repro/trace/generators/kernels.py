@@ -1,0 +1,393 @@
+"""Loop-nest kernels that emit realistic variable access streams.
+
+The OffsetStone programs the paper evaluates come from image, signal and
+video processing plus control-dominated tools (Sec. IV-A). These builders
+walk the actual loop nests of representative kernels (FIR, IIR, FFT, DCT,
+GEMM, stencil, Viterbi, GSM LPC, ADPCM, motion estimation, Huffman) and
+record every scalar/array-cell touch in compiler order, yielding access
+sequences with genuine reuse, striding and phase structure.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.trace.sequence import AccessSequence
+from repro.util.rng import ensure_rng
+
+
+class _Recorder:
+    """Collects variable touches and the variable universe in touch order."""
+
+    def __init__(self) -> None:
+        self.accesses: list[str] = []
+        self.variables: list[str] = []
+        self._seen: set[str] = set()
+
+    def declare(self, *names: str) -> None:
+        for n in names:
+            if n not in self._seen:
+                self._seen.add(n)
+                self.variables.append(n)
+
+    def touch(self, *names: str) -> None:
+        self.declare(*names)
+        self.accesses.extend(names)
+
+    def sequence(self, name: str) -> AccessSequence:
+        if not self.accesses:
+            raise TraceError(f"kernel {name!r} recorded no accesses")
+        return AccessSequence(self.accesses, self.variables, name=name)
+
+
+def fir_filter(taps: int = 8, samples: int = 16, name: str = "fir") -> AccessSequence:
+    """Direct-form FIR: per sample, a multiply-accumulate sweep over the
+    coefficient and delay-line arrays followed by the delay-line shift."""
+    if taps < 1 or samples < 1:
+        raise TraceError("taps and samples must be >= 1")
+    r = _Recorder()
+    coeff = [f"c{i}" for i in range(taps)]
+    delay = [f"x{i}" for i in range(taps)]
+    r.declare(*coeff, *delay, "in", "acc", "out")
+    for _ in range(samples):
+        r.touch("in", "x0")              # push new sample
+        r.touch("acc")                   # acc = 0
+        for i in range(taps):
+            r.touch(coeff[i], delay[i], "acc")
+        for i in range(taps - 1, 0, -1):  # shift delay line
+            r.touch(delay[i - 1], delay[i])
+        r.touch("acc", "out")
+    return r.sequence(name)
+
+
+def iir_biquad(
+    sections: int = 2, samples: int = 8, name: str = "iir"
+) -> AccessSequence:
+    """Cascaded transposed-direct-form-II biquads."""
+    if sections < 1 or samples < 1:
+        raise TraceError("sections and samples must be >= 1")
+    r = _Recorder()
+    for s in range(sections):
+        r.declare(f"b0_{s}", f"b1_{s}", f"b2_{s}", f"a1_{s}", f"a2_{s}",
+                  f"w1_{s}", f"w2_{s}")
+    r.declare("x", "y")
+    for _ in range(samples):
+        r.touch("x")
+        for s in range(sections):
+            r.touch(f"b0_{s}", "x", f"w1_{s}", "y")      # y = b0*x + w1
+            r.touch(f"b1_{s}", "x", f"a1_{s}", "y", f"w2_{s}", f"w1_{s}")
+            r.touch(f"b2_{s}", "x", f"a2_{s}", "y", f"w2_{s}")
+            r.touch("y", "x")                            # feed next section
+        r.touch("y")
+    return r.sequence(name)
+
+
+def fft_butterfly(n: int = 16, name: str = "fft") -> AccessSequence:
+    """Iterative radix-2 FFT over ``n`` complex points (n must be 2^k)."""
+    if n < 2 or n & (n - 1):
+        raise TraceError(f"n must be a power of two >= 2, got {n}")
+    r = _Recorder()
+    re = [f"re{i}" for i in range(n)]
+    im = [f"im{i}" for i in range(n)]
+    r.declare(*re, *im, "tw_re", "tw_im", "t_re", "t_im")
+    stages = int(math.log2(n))
+    half = 1
+    for _ in range(stages):
+        for group in range(0, n, half * 2):
+            for k in range(half):
+                i, j = group + k, group + k + half
+                r.touch("tw_re", "tw_im")
+                r.touch(re[j], im[j], "tw_re", "tw_im", "t_re", "t_im")
+                r.touch(re[i], "t_re", re[j])
+                r.touch(im[i], "t_im", im[j])
+                r.touch(re[i], "t_re", re[i])
+                r.touch(im[i], "t_im", im[i])
+        half *= 2
+    return r.sequence(name)
+
+
+def dct8(blocks: int = 4, name: str = "dct") -> AccessSequence:
+    """8-point Loeffler-style DCT applied to ``blocks`` sample blocks."""
+    if blocks < 1:
+        raise TraceError("blocks must be >= 1")
+    r = _Recorder()
+    s = [f"s{i}" for i in range(8)]
+    d = [f"d{i}" for i in range(8)]
+    c = [f"k{i}" for i in range(1, 8)]
+    r.declare(*s, *d, *c, "t0", "t1")
+    for _ in range(blocks):
+        for i in range(8):
+            r.touch(s[i])
+        for i in range(4):                      # butterfly stage
+            r.touch(s[i], s[7 - i], "t0")
+            r.touch(s[i], s[7 - i], "t1")
+            r.touch("t0", d[i])
+            r.touch("t1", d[7 - i])
+        for i, cc in enumerate(c):              # rotation stage
+            r.touch(cc, d[i % 8], "t0", d[(i + 1) % 8])
+        for i in range(8):
+            r.touch(d[i])
+    return r.sequence(name)
+
+
+def matmul(n: int = 4, name: str = "matmul") -> AccessSequence:
+    """Naive n*n GEMM over scalar-promoted array cells."""
+    if n < 1:
+        raise TraceError("n must be >= 1")
+    r = _Recorder()
+    a = [[f"a{i}{j}" for j in range(n)] for i in range(n)]
+    b = [[f"b{i}{j}" for j in range(n)] for i in range(n)]
+    cm = [[f"c{i}{j}" for j in range(n)] for i in range(n)]
+    r.declare("acc")
+    for i in range(n):
+        for j in range(n):
+            r.touch("acc")
+            for k in range(n):
+                r.touch(a[i][k], b[k][j], "acc")
+            r.touch("acc", cm[i][j])
+    return r.sequence(name)
+
+
+def stencil5(width: int = 6, height: int = 4, iters: int = 1,
+             name: str = "stencil") -> AccessSequence:
+    """5-point Jacobi stencil sweeps over a width*height grid."""
+    if width < 3 or height < 3 or iters < 1:
+        raise TraceError("width/height must be >= 3 and iters >= 1")
+    r = _Recorder()
+    g = [[f"g{x}_{y}" for x in range(width)] for y in range(height)]
+    r.declare("sum", "out")
+    for _ in range(iters):
+        for y in range(1, height - 1):
+            for x in range(1, width - 1):
+                r.touch(g[y][x], "sum")
+                r.touch(g[y - 1][x], "sum")
+                r.touch(g[y + 1][x], "sum")
+                r.touch(g[y][x - 1], "sum")
+                r.touch(g[y][x + 1], "sum")
+                r.touch("sum", "out", g[y][x])
+    return r.sequence(name)
+
+
+def viterbi_trellis(states: int = 4, steps: int = 6,
+                    name: str = "viterbi") -> AccessSequence:
+    """Viterbi add-compare-select over a fully connected trellis."""
+    if states < 2 or steps < 1:
+        raise TraceError("states must be >= 2 and steps >= 1")
+    r = _Recorder()
+    pm_old = [f"pmo{i}" for i in range(states)]
+    pm_new = [f"pmn{i}" for i in range(states)]
+    bm = [f"bm{i}" for i in range(states)]
+    r.declare(*pm_old, *pm_new, *bm, "best", "cand")
+    for _ in range(steps):
+        for j in range(states):
+            r.touch("best")
+            for i in range(states):
+                r.touch(pm_old[i], bm[(i + j) % states], "cand", "best")
+            r.touch("best", pm_new[j])
+        for j in range(states):                 # metric swap
+            r.touch(pm_new[j], pm_old[j])
+    return r.sequence(name)
+
+
+def gsm_lpc(order: int = 8, frames: int = 3, name: str = "gsm") -> AccessSequence:
+    """GSM-style LPC analysis: autocorrelation then Levinson-Durbin."""
+    if order < 2 or frames < 1:
+        raise TraceError("order must be >= 2 and frames >= 1")
+    r = _Recorder()
+    ac = [f"ac{i}" for i in range(order + 1)]
+    k = [f"rc{i}" for i in range(order)]
+    a = [f"lp{i}" for i in range(order)]
+    r.declare(*ac, *k, *a, "err", "tmp", "sample")
+    for _ in range(frames):
+        for lag in range(order + 1):            # autocorrelation phase
+            r.touch("sample", "sample", ac[lag])
+        r.touch(ac[0], "err")
+        for i in range(order):                  # Levinson-Durbin recursion
+            r.touch(ac[i + 1], "tmp")
+            for j in range(i):
+                r.touch(a[j], ac[i - j], "tmp")
+            r.touch("tmp", "err", k[i])
+            r.touch(k[i], a[i])
+            for j in range(i // 2 + 1):
+                r.touch(a[j], k[i], a[i - 1 - j] if i else a[0], "tmp")
+            r.touch(k[i], "err", "err")
+    return r.sequence(name)
+
+
+def adpcm_step(samples: int = 24, name: str = "adpcm") -> AccessSequence:
+    """IMA-ADPCM encoder inner loop: predictor + step-size adaptation."""
+    if samples < 1:
+        raise TraceError("samples must be >= 1")
+    r = _Recorder()
+    r.declare("sample", "pred", "diff", "step", "delta", "index", "vpdiff", "code")
+    for _ in range(samples):
+        r.touch("sample", "pred", "diff")
+        r.touch("diff", "step", "delta")
+        r.touch("delta", "vpdiff", "step")
+        r.touch("vpdiff", "pred", "pred")
+        r.touch("delta", "index", "index")
+        r.touch("index", "step")
+        r.touch("delta", "code")
+    return r.sequence(name)
+
+
+def motion_estimation(block: int = 4, search: int = 2,
+                      name: str = "motion") -> AccessSequence:
+    """Full-search block matching: SAD over a (2*search+1)^2 window."""
+    if block < 2 or search < 1:
+        raise TraceError("block must be >= 2 and search >= 1")
+    r = _Recorder()
+    cur = [f"cur{i}" for i in range(block * block)]
+    ref = [f"ref{i}" for i in range(block * block)]
+    r.declare(*cur, *ref, "sad", "best_sad", "best_mv")
+    for _dy in range(-search, search + 1):
+        for _dx in range(-search, search + 1):
+            r.touch("sad")
+            for i in range(block * block):
+                r.touch(cur[i], ref[i], "sad")
+            r.touch("sad", "best_sad", "best_mv")
+    return r.sequence(name)
+
+
+def huffman_encode(
+    symbols: int = 12,
+    stream_length: int = 64,
+    rng: int | np.random.Generator | None = None,
+    name: str = "huffman",
+) -> AccessSequence:
+    """Huffman encoding loop: geometric symbol stream through a code table."""
+    if symbols < 2 or stream_length < 1:
+        raise TraceError("symbols must be >= 2 and stream_length >= 1")
+    gen = ensure_rng(rng)
+    r = _Recorder()
+    code = [f"code{i}" for i in range(symbols)]
+    length = [f"len{i}" for i in range(symbols)]
+    r.declare(*code, *length, "sym", "bits", "bitpos")
+    weights = 0.5 ** np.arange(1, symbols + 1)
+    weights /= weights.sum()
+    for _ in range(stream_length):
+        s = int(gen.choice(symbols, p=weights))
+        r.touch("sym", code[s], "bits")
+        r.touch(length[s], "bitpos", "bitpos")
+    return r.sequence(name)
+
+
+def sobel3x3(width: int = 6, height: int = 5, name: str = "sobel") -> AccessSequence:
+    """Sobel edge detection: two 3x3 convolutions per interior pixel."""
+    if width < 3 or height < 3:
+        raise TraceError("width and height must be >= 3")
+    r = _Recorder()
+    img = [[f"p{x}_{y}" for x in range(width)] for y in range(height)]
+    gx = [f"gx{i}" for i in range(6)]   # the six non-zero Gx taps
+    gy = [f"gy{i}" for i in range(6)]
+    r.declare(*gx, *gy, "sx", "sy", "mag", "out")
+    for y in range(1, height - 1):
+        for x in range(1, width - 1):
+            r.touch("sx")
+            for i, (dx, dy) in enumerate(
+                [(-1, -1), (-1, 0), (-1, 1), (1, -1), (1, 0), (1, 1)]
+            ):
+                r.touch(img[y + dy][x + dx], gx[i], "sx")
+            r.touch("sy")
+            for i, (dx, dy) in enumerate(
+                [(-1, -1), (0, -1), (1, -1), (-1, 1), (0, 1), (1, 1)]
+            ):
+                r.touch(img[y + dy][x + dx], gy[i], "sy")
+            r.touch("sx", "sy", "mag", "out")
+    return r.sequence(name)
+
+
+def conv1d(taps: int = 5, samples: int = 20, name: str = "conv") -> AccessSequence:
+    """Sliding 1-D convolution over a signal buffer (valid region only)."""
+    if taps < 2 or samples < taps:
+        raise TraceError("need taps >= 2 and samples >= taps")
+    r = _Recorder()
+    sig = [f"s{i}" for i in range(samples)]
+    w = [f"w{i}" for i in range(taps)]
+    r.declare(*w, "acc", "out")
+    for start in range(samples - taps + 1):
+        r.touch("acc")
+        for i in range(taps):
+            r.touch(sig[start + i], w[i], "acc")
+        r.touch("acc", "out")
+    return r.sequence(name)
+
+
+def histogram(bins: int = 8, samples: int = 48,
+              rng: int | np.random.Generator | None = None,
+              name: str = "histogram") -> AccessSequence:
+    """Histogram build: data-dependent scattered bin increments."""
+    if bins < 2 or samples < 1:
+        raise TraceError("need bins >= 2 and samples >= 1")
+    gen = ensure_rng(rng)
+    r = _Recorder()
+    bin_vars = [f"bin{i}" for i in range(bins)]
+    r.declare(*bin_vars, "sample", "index")
+    weights = np.abs(gen.normal(size=bins)) + 0.1
+    weights /= weights.sum()
+    for _ in range(samples):
+        b = int(gen.choice(bins, p=weights))
+        r.touch("sample", "index")
+        r.touch(bin_vars[b], bin_vars[b])  # read-modify-write
+    return r.sequence(name)
+
+
+def crc32_loop(blocks: int = 16, name: str = "crc") -> AccessSequence:
+    """Table-driven CRC: a hot state register against a lookup table."""
+    if blocks < 1:
+        raise TraceError("blocks must be >= 1")
+    r = _Recorder()
+    table = [f"tab{i}" for i in range(8)]
+    r.declare(*table, "crc", "byte", "idx")
+    for i in range(blocks):
+        r.touch("byte", "crc", "idx")
+        r.touch(table[i % len(table)], "crc")
+        r.touch("crc")
+    return r.sequence(name)
+
+
+def quicksort_partition(elements: int = 12, rounds: int = 3,
+                        rng: int | np.random.Generator | None = None,
+                        name: str = "qsort") -> AccessSequence:
+    """Hoare partition passes: two cursors sweeping toward each other."""
+    if elements < 4 or rounds < 1:
+        raise TraceError("need elements >= 4 and rounds >= 1")
+    gen = ensure_rng(rng)
+    r = _Recorder()
+    arr = [f"e{i}" for i in range(elements)]
+    r.declare(*arr, "pivot", "lo", "hi", "tmp")
+    for _ in range(rounds):
+        r.touch(arr[int(gen.integers(0, elements))], "pivot")
+        i, j = 0, elements - 1
+        while i < j:
+            r.touch("lo", arr[i], "pivot")
+            r.touch("hi", arr[j], "pivot")
+            if gen.random() < 0.5:
+                r.touch(arr[i], "tmp", arr[j], arr[i], "tmp", arr[j])
+            i += 1
+            j -= 1
+    return r.sequence(name)
+
+
+#: Registry of all kernels with their default arguments, for the CLI and suite.
+KERNELS = {
+    "fir": fir_filter,
+    "iir": iir_biquad,
+    "fft": fft_butterfly,
+    "dct": dct8,
+    "matmul": matmul,
+    "stencil": stencil5,
+    "viterbi": viterbi_trellis,
+    "gsm": gsm_lpc,
+    "adpcm": adpcm_step,
+    "motion": motion_estimation,
+    "huffman": huffman_encode,
+    "sobel": sobel3x3,
+    "conv": conv1d,
+    "histogram": histogram,
+    "crc": crc32_loop,
+    "qsort": quicksort_partition,
+}

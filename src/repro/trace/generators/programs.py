@@ -1,0 +1,228 @@
+"""Program-structured trace generation: a tiny compiler-shaped model.
+
+The statistical generators (:mod:`repro.trace.generators.synthetic`)
+control trace structure with knobs; this module derives it from *program
+structure* instead, the way OffsetStone's traces derive from real C
+procedures. A :class:`ProcedureModel` is a tree of regions — straight-
+line statement blocks, loops, and branches — over scoped variables:
+
+* each statement reads a few in-scope variables and writes one
+  (def-use bursts, the statement-level locality of sequential code);
+* each region declares locals that die with it (block-scoped lifetimes —
+  the disjointness Algorithm 1 harvests);
+* loops re-execute their body (the revisits that separate first-use
+  order from affinity order);
+* a procedure-wide set of variables (parameters, accumulators) stays
+  live throughout.
+
+Walking the tree emits the access sequence a single-pass code generator
+would see. Everything is deterministic in the seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.trace.sequence import AccessSequence
+from repro.util.rng import ensure_rng
+
+
+@dataclass
+class _Region:
+    """One region of the procedure tree."""
+
+    kind: str                       # 'block' | 'loop' | 'branch'
+    locals_: list[str] = field(default_factory=list)
+    statements: int = 0             # for blocks
+    iterations: int = 1             # for loops
+    children: list["_Region"] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class ProcedureSpec:
+    """Size/shape knobs for one generated procedure."""
+
+    target_statements: int = 60
+    max_depth: int = 3
+    locals_per_region: tuple[int, int] = (2, 6)
+    procedure_vars: int = 4
+    loop_probability: float = 0.35
+    branch_probability: float = 0.25
+    max_loop_iterations: int = 4
+    reads_per_statement: tuple[int, int] = (1, 3)
+
+    def validate(self) -> None:
+        if self.target_statements < 1:
+            raise TraceError("target_statements must be >= 1")
+        if self.max_depth < 0:
+            raise TraceError("max_depth must be >= 0")
+        if self.procedure_vars < 0:
+            raise TraceError("procedure_vars must be >= 0")
+        if not 0 <= self.loop_probability < 1:
+            raise TraceError("loop_probability must be in [0, 1)")
+        if not 0 <= self.branch_probability < 1:
+            raise TraceError("branch_probability must be in [0, 1)")
+        if self.max_loop_iterations < 1:
+            raise TraceError("max_loop_iterations must be >= 1")
+        lo, hi = self.reads_per_statement
+        if not 1 <= lo <= hi:
+            raise TraceError("reads_per_statement must satisfy 1 <= lo <= hi")
+        lo, hi = self.locals_per_region
+        if not 1 <= lo <= hi:
+            raise TraceError("locals_per_region must satisfy 1 <= lo <= hi")
+
+
+class ProcedureModel:
+    """A generated procedure: region tree + deterministic trace emission."""
+
+    def __init__(
+        self,
+        spec: ProcedureSpec | None = None,
+        rng: int | np.random.Generator | None = None,
+        name: str = "proc",
+    ) -> None:
+        self.spec = spec or ProcedureSpec()
+        self.spec.validate()
+        self.name = name
+        self._rng = ensure_rng(rng)
+        self._counter = 0
+        self.procedure_vars = [f"{name}_g{i}"
+                               for i in range(self.spec.procedure_vars)]
+        budget = [self.spec.target_statements]
+        self.root = self._build_region(depth=0, budget=budget)
+        # emit() must be idempotent: freeze a dedicated emission seed so
+        # repeated emissions replay identically.
+        self._emit_seed = int(self._rng.integers(0, 2**63 - 1))
+
+    # -- construction --------------------------------------------------------
+
+    def _fresh_locals(self) -> list[str]:
+        lo, hi = self.spec.locals_per_region
+        count = int(self._rng.integers(lo, hi + 1))
+        out = []
+        for _ in range(count):
+            out.append(f"{self.name}_t{self._counter}")
+            self._counter += 1
+        return out
+
+    def _build_region(self, depth: int, budget: list[int]) -> _Region:
+        region = _Region(kind="block", locals_=self._fresh_locals())
+        while budget[0] > 0:
+            roll = self._rng.random()
+            if depth < self.spec.max_depth and roll < self.spec.loop_probability:
+                iters = int(self._rng.integers(2, self.spec.max_loop_iterations + 1))
+                child = self._build_subregion(depth, budget, "loop")
+                child.iterations = iters
+                region.children.append(child)
+            elif (depth < self.spec.max_depth
+                  and roll < self.spec.loop_probability
+                  + self.spec.branch_probability):
+                region.children.append(
+                    self._build_subregion(depth, budget, "branch")
+                )
+            else:
+                run = int(self._rng.integers(2, 7))
+                run = min(run, budget[0])
+                stmt_block = _Region(kind="block", statements=run)
+                region.children.append(stmt_block)
+                budget[0] -= run
+            # chance to close this region and pop back up
+            if depth > 0 and self._rng.random() < 0.35:
+                break
+        return region
+
+    def _build_subregion(self, depth: int, budget: list[int], kind: str) -> _Region:
+        child = self._build_region(depth=depth + 1, budget=budget)
+        child.kind = kind
+        return child
+
+    # -- emission --------------------------------------------------------------
+
+    def emit(self) -> AccessSequence:
+        """Walk the tree and record the variable touches of every statement.
+
+        Idempotent: repeated calls replay the same trace (data-dependent
+        draws come from a frozen emission seed, not the build generator).
+        """
+        emit_rng = ensure_rng(self._emit_seed)
+        accesses: list[str] = []
+        declared: list[str] = list(self.procedure_vars)
+        seen = set(declared)
+
+        def declare(names: list[str]) -> None:
+            for n in names:
+                if n not in seen:
+                    seen.add(n)
+                    declared.append(n)
+
+        def emit_statements(count: int, local_scope: list[str]) -> None:
+            # Statements mostly touch in-scope locals; procedure-wide
+            # variables (parameters, accumulators) are hit occasionally.
+            pool = local_scope if local_scope else list(self.procedure_vars)
+            if not pool:
+                return
+            lo, hi = self.spec.reads_per_statement
+            globals_ = self.procedure_vars
+            for _ in range(count):
+                reads = int(emit_rng.integers(lo, hi + 1))
+                for _ in range(reads + 1):  # reads + one written variable
+                    if globals_ and emit_rng.random() < 0.15:
+                        accesses.append(
+                            globals_[int(emit_rng.integers(0, len(globals_)))]
+                        )
+                    else:
+                        accesses.append(
+                            pool[int(emit_rng.integers(0, len(pool)))]
+                        )
+
+        def walk(region: _Region, outer_locals: list[str]) -> None:
+            declare(region.locals_)
+            if not region.locals_ and region.statements and not region.children:
+                # a bare statement run: executes in the enclosing scope
+                emit_statements(region.statements, outer_locals)
+                return
+            # the region's statements see a small window of the enclosing
+            # locals plus (dominantly) its own block-scoped locals
+            local_scope = outer_locals[-2:] + region.locals_
+            repeats = region.iterations if region.kind == "loop" else 1
+            for _ in range(repeats):
+                if region.statements:
+                    emit_statements(region.statements, local_scope)
+                for child in region.children:
+                    walk(child, local_scope)
+
+        walk(self.root, [])
+        if not accesses:  # degenerate tree: emit one touch so S is non-empty
+            if not declared:
+                declare(["fallback"])
+            accesses.append(declared[0])
+        return AccessSequence(accesses, variables=declared, name=self.name)
+
+
+def procedure_sequence(
+    spec: ProcedureSpec | None = None,
+    rng: int | np.random.Generator | None = None,
+    name: str = "proc",
+) -> AccessSequence:
+    """Convenience: build a :class:`ProcedureModel` and emit its trace."""
+    return ProcedureModel(spec=spec, rng=rng, name=name).emit()
+
+
+def program_sequences(
+    num_procedures: int,
+    spec: ProcedureSpec | None = None,
+    rng: int | np.random.Generator | None = None,
+    name: str = "prog",
+) -> list[AccessSequence]:
+    """A bag of procedure traces, one per generated procedure."""
+    if num_procedures < 1:
+        raise TraceError("num_procedures must be >= 1")
+    gen = ensure_rng(rng)
+    seeds = gen.integers(0, 2**63 - 1, size=num_procedures)
+    return [
+        procedure_sequence(spec=spec, rng=int(seeds[i]), name=f"{name}_p{i}")
+        for i in range(num_procedures)
+    ]

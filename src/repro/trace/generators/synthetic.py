@@ -1,0 +1,269 @@
+"""Synthetic access-sequence generators.
+
+These model the statistical structure of the traces the paper evaluates
+on, most importantly *phase behaviour*: real programs touch rotating
+working sets, which is exactly the disjoint-lifespan structure the DMA
+heuristic exploits (Sec. III-B). Control-dominated programs are modelled
+with Zipf-weighted Markov reuse; loop-dominated DSP code with repeated
+sub-patterns.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.trace.sequence import AccessSequence
+from repro.util.rng import ensure_rng
+
+
+def _var_names(count: int, prefix: str = "v") -> list[str]:
+    width = max(2, len(str(max(count - 1, 0))))
+    return [f"{prefix}{i:0{width}d}" for i in range(count)]
+
+
+def uniform_random_sequence(
+    num_vars: int,
+    length: int,
+    rng: int | np.random.Generator | None = None,
+    name: str = "uniform",
+) -> AccessSequence:
+    """Accesses drawn uniformly at random — the least structured baseline."""
+    _check(num_vars, length)
+    gen = ensure_rng(rng)
+    variables = _var_names(num_vars)
+    codes = gen.integers(0, num_vars, size=length)
+    return AccessSequence([variables[c] for c in codes], variables, name=name)
+
+
+def zipf_sequence(
+    num_vars: int,
+    length: int,
+    alpha: float = 1.2,
+    locality: float = 0.3,
+    rng: int | np.random.Generator | None = None,
+    name: str = "zipf",
+) -> AccessSequence:
+    """Zipf-weighted accesses with a tunable self-repeat probability.
+
+    ``alpha`` shapes the frequency skew (a few hot variables); ``locality``
+    is the probability that an access repeats the previous variable, which
+    controls how many free self-transitions the trace contains.
+    """
+    _check(num_vars, length)
+    if alpha <= 0:
+        raise TraceError(f"alpha must be positive, got {alpha}")
+    if not 0.0 <= locality < 1.0:
+        raise TraceError(f"locality must be in [0, 1), got {locality}")
+    gen = ensure_rng(rng)
+    variables = _var_names(num_vars)
+    weights = 1.0 / np.arange(1, num_vars + 1, dtype=float) ** alpha
+    weights /= weights.sum()
+    # Shuffle so that hotness is uncorrelated with declaration order.
+    hot_order = gen.permutation(num_vars)
+    accesses: list[str] = []
+    prev = -1
+    for _ in range(length):
+        if prev >= 0 and gen.random() < locality:
+            code = prev
+        else:
+            code = int(hot_order[gen.choice(num_vars, p=weights)])
+        accesses.append(variables[code])
+        prev = code
+    return AccessSequence(accesses, variables, name=name)
+
+
+def markov_sequence(
+    num_vars: int,
+    length: int,
+    reuse: float = 0.6,
+    window: int = 4,
+    rng: int | np.random.Generator | None = None,
+    name: str = "markov",
+) -> AccessSequence:
+    """Temporal-locality model: with probability ``reuse`` re-access one of
+    the ``window`` most recently used variables, otherwise a fresh one."""
+    _check(num_vars, length)
+    if not 0.0 <= reuse < 1.0:
+        raise TraceError(f"reuse must be in [0, 1), got {reuse}")
+    if window < 1:
+        raise TraceError(f"window must be >= 1, got {window}")
+    gen = ensure_rng(rng)
+    variables = _var_names(num_vars)
+    recent: list[int] = []
+    accesses: list[str] = []
+    for _ in range(length):
+        if recent and gen.random() < reuse:
+            code = recent[int(gen.integers(0, len(recent)))]
+        else:
+            code = int(gen.integers(0, num_vars))
+        accesses.append(variables[code])
+        if code in recent:
+            recent.remove(code)
+        recent.append(code)
+        if len(recent) > window:
+            recent.pop(0)
+    return AccessSequence(accesses, variables, name=name)
+
+
+def phased_sequence(
+    num_phases: int,
+    vars_per_phase: int,
+    accesses_per_phase: int,
+    shared_vars: int = 0,
+    shared_ratio: float = 0.2,
+    alpha: float = 1.1,
+    rng: int | np.random.Generator | None = None,
+    name: str = "phased",
+) -> AccessSequence:
+    """Rotating working sets: the structure the DMA heuristic exploits.
+
+    Each phase accesses its private variables (whose lifespans are
+    therefore disjoint from other phases' variables) plus, with
+    probability ``shared_ratio`` per access, one of ``shared_vars``
+    globally live variables (whose lifespans span the whole trace).
+    """
+    if num_phases < 1 or vars_per_phase < 1 or accesses_per_phase < 1:
+        raise TraceError("phases, vars_per_phase and accesses_per_phase must be >= 1")
+    if shared_vars < 0:
+        raise TraceError(f"shared_vars must be >= 0, got {shared_vars}")
+    if shared_vars > 0 and not 0.0 <= shared_ratio < 1.0:
+        raise TraceError(f"shared_ratio must be in [0, 1), got {shared_ratio}")
+    gen = ensure_rng(rng)
+    shared = _var_names(shared_vars, prefix="g")
+    phase_vars = [
+        _var_names(vars_per_phase, prefix=f"p{p}_") for p in range(num_phases)
+    ]
+    variables = shared + [v for grp in phase_vars for v in grp]
+    weights = 1.0 / np.arange(1, vars_per_phase + 1, dtype=float) ** alpha
+    weights /= weights.sum()
+    accesses: list[str] = []
+    for p in range(num_phases):
+        local = phase_vars[p]
+        for _ in range(accesses_per_phase):
+            if shared and gen.random() < shared_ratio:
+                accesses.append(shared[int(gen.integers(0, len(shared)))])
+            else:
+                accesses.append(local[int(gen.choice(vars_per_phase, p=weights))])
+    return AccessSequence(accesses, variables, name=name)
+
+
+def looped_sequence(
+    num_patterns: int,
+    pattern_length: int,
+    repeats: int,
+    vars_per_pattern: int,
+    rng: int | np.random.Generator | None = None,
+    name: str = "looped",
+) -> AccessSequence:
+    """DSP-style loops: random body patterns, each repeated ``repeats`` times.
+
+    Consecutive loop nests use distinct variable groups, so this combines
+    heavy intra-pattern regularity with inter-pattern disjointness.
+    """
+    if min(num_patterns, pattern_length, repeats, vars_per_pattern) < 1:
+        raise TraceError("all looped_sequence parameters must be >= 1")
+    gen = ensure_rng(rng)
+    groups = [
+        _var_names(vars_per_pattern, prefix=f"l{p}_") for p in range(num_patterns)
+    ]
+    variables = [v for grp in groups for v in grp]
+    accesses: list[str] = []
+    for p in range(num_patterns):
+        grp = groups[p]
+        body = [grp[int(gen.integers(0, vars_per_pattern))] for _ in range(pattern_length)]
+        for _ in range(repeats):
+            accesses.extend(body)
+    return AccessSequence(accesses, variables, name=name)
+
+
+def sliding_window_sequence(
+    num_vars: int,
+    length: int,
+    window: int = 4,
+    locality: float = 0.45,
+    shared_vars: int = 0,
+    shared_ratio: float = 0.15,
+    revisit: float = 0.0,
+    rng: int | np.random.Generator | None = None,
+    name: str = "sliding",
+) -> AccessSequence:
+    """Statement-level access pattern: a working window sliding over V.
+
+    Sequential code (the regime OffsetStone captures) touches each local
+    variable in a short burst of nearby statements: live ranges are short
+    and staggered, so far-apart variables are disjoint — the structure
+    Algorithm 1 harvests. The model: a ``window`` of consecutive variables
+    is active at any time and slides uniformly across the variable list;
+    each access repeats the previous variable with probability
+    ``locality`` (self-transitions), otherwise draws from the window.
+    ``shared_vars`` long-lived variables (loop counters, state) are hit
+    with probability ``shared_ratio`` throughout, and with probability
+    ``revisit`` an access loops back to an already-retired window position
+    (loop structure; this is what makes plain first-use ordering
+    suboptimal, as in real code).
+    """
+    _check(num_vars, length)
+    if window < 1:
+        raise TraceError(f"window must be >= 1, got {window}")
+    if not 0.0 <= locality < 1.0:
+        raise TraceError(f"locality must be in [0, 1), got {locality}")
+    if shared_vars < 0:
+        raise TraceError(f"shared_vars must be >= 0, got {shared_vars}")
+    if shared_vars > 0 and not 0.0 <= shared_ratio < 1.0:
+        raise TraceError(f"shared_ratio must be in [0, 1), got {shared_ratio}")
+    if not 0.0 <= revisit < 1.0:
+        raise TraceError(f"revisit must be in [0, 1), got {revisit}")
+    gen = ensure_rng(rng)
+    window = min(window, num_vars)
+    local = _var_names(num_vars)
+    shared = _var_names(shared_vars, prefix="g")
+    accesses: list[str] = []
+    prev: str | None = None
+    span = max(1, num_vars - window)
+    for i in range(length):
+        if shared and gen.random() < shared_ratio:
+            accesses.append(shared[int(gen.integers(0, len(shared)))])
+            continue
+        if prev is not None and gen.random() < locality:
+            accesses.append(prev)
+            continue
+        start = min(span - 1, int(i / length * span)) if span > 1 else 0
+        if revisit and start > 0 and gen.random() < revisit:
+            start = int(gen.integers(0, start))  # jump back into older code
+        j = min(start + int(gen.integers(0, window)), num_vars - 1)
+        prev = local[j]
+        accesses.append(prev)
+    return AccessSequence(accesses, shared + local, name=name)
+
+
+def concat_sequences(
+    sequences: Sequence[AccessSequence],
+    name: str = "concat",
+) -> AccessSequence:
+    """Concatenate sequences; same-named variables are shared.
+
+    The variable universe is the union in first-sequence-first order, so
+    concatenating phase-local sequences preserves their disjointness.
+    """
+    if not sequences:
+        raise TraceError("cannot concatenate zero sequences")
+    variables: list[str] = []
+    seen: set[str] = set()
+    accesses: list[str] = []
+    for seq in sequences:
+        for v in seq.variables:
+            if v not in seen:
+                seen.add(v)
+                variables.append(v)
+        accesses.extend(seq.accesses)
+    return AccessSequence(accesses, variables, name=name)
+
+
+def _check(num_vars: int, length: int) -> None:
+    if num_vars < 1:
+        raise TraceError(f"num_vars must be >= 1, got {num_vars}")
+    if length < 1:
+        raise TraceError(f"length must be >= 1, got {length}")

@@ -1,0 +1,134 @@
+"""Plain-text trace format, in the spirit of OffsetStone sequence files.
+
+Format (one or more blocks per file)::
+
+    # comments and blank lines are ignored
+    trace fir_kernel
+    vars x0 x1 c0 c1 acc
+    seq x0 c0 acc x1 c1 acc
+    writes 2 5            # optional: 0-based indices of write accesses
+    end
+
+``vars`` is optional; when omitted the variable universe is the order of
+first appearance in ``seq``. ``seq`` may be repeated to continue long
+sequences. ``writes`` may be repeated as well; without it the default
+first-access-is-a-write rule applies.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.errors import TraceFormatError
+from repro.trace.sequence import AccessSequence
+from repro.trace.trace import MemoryTrace
+
+
+def parse_traces(text: str) -> list[MemoryTrace]:
+    """Parse all trace blocks from ``text``."""
+    traces: list[MemoryTrace] = []
+    state: dict | None = None
+
+    def finish(line_no: int) -> None:
+        nonlocal state
+        if state is None:
+            return
+        if not state["seq"]:
+            raise TraceFormatError(
+                f"line {line_no}: trace {state['name']!r} has an empty sequence"
+            )
+        seq = AccessSequence(
+            state["seq"], variables=state["vars"] or None, name=state["name"]
+        )
+        writes = None
+        if state["writes"] is not None:
+            writes = np.zeros(len(seq), dtype=bool)
+            for idx in state["writes"]:
+                if not 0 <= idx < len(seq):
+                    raise TraceFormatError(
+                        f"line {line_no}: write index {idx} out of range "
+                        f"for {len(seq)} accesses"
+                    )
+                writes[idx] = True
+        traces.append(MemoryTrace(seq, writes))
+        state = None
+
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        fields = line.split()
+        keyword, args = fields[0].lower(), fields[1:]
+        if keyword == "trace":
+            if state is not None:
+                raise TraceFormatError(
+                    f"line {line_no}: 'trace' before previous block ended"
+                )
+            if len(args) != 1:
+                raise TraceFormatError(f"line {line_no}: 'trace' takes one name")
+            state = {"name": args[0], "vars": [], "seq": [], "writes": None}
+        elif keyword in ("vars", "seq", "writes", "end"):
+            if state is None:
+                raise TraceFormatError(
+                    f"line {line_no}: {keyword!r} outside a trace block"
+                )
+            if keyword == "vars":
+                state["vars"].extend(args)
+            elif keyword == "seq":
+                state["seq"].extend(args)
+            elif keyword == "writes":
+                if state["writes"] is None:
+                    state["writes"] = []
+                try:
+                    state["writes"].extend(int(a) for a in args)
+                except ValueError as exc:
+                    raise TraceFormatError(
+                        f"line {line_no}: write indices must be integers"
+                    ) from exc
+            else:
+                finish(line_no)
+        else:
+            raise TraceFormatError(f"line {line_no}: unknown keyword {keyword!r}")
+    if state is not None:
+        raise TraceFormatError(
+            f"trace {state['name']!r} not terminated with 'end'"
+        )
+    return traces
+
+
+def render_traces(traces: Iterable[MemoryTrace], wrap: int = 16) -> str:
+    """Serialize traces to the text format parsed by :func:`parse_traces`."""
+    out: list[str] = []
+    for trace in traces:
+        seq = trace.sequence
+        out.append(f"trace {seq.name or 'unnamed'}")
+        for chunk in _chunks(list(seq.variables), wrap):
+            out.append("vars " + " ".join(chunk))
+        for chunk in _chunks(list(seq.accesses), wrap):
+            out.append("seq " + " ".join(chunk))
+        write_idx = [str(i) for i in np.flatnonzero(trace.writes)]
+        for chunk in _chunks(write_idx, wrap):
+            out.append("writes " + " ".join(chunk))
+        out.append("end")
+        out.append("")
+    return "\n".join(out)
+
+
+def read_traces(path: str | os.PathLike) -> list[MemoryTrace]:
+    """Read all traces from a file."""
+    with open(path, "r", encoding="utf-8") as f:
+        return parse_traces(f.read())
+
+
+def write_traces(path: str | os.PathLike, traces: Iterable[MemoryTrace]) -> None:
+    """Write traces to a file in the text format."""
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(render_traces(traces))
+
+
+def _chunks(items: list[str], size: int) -> Iterable[list[str]]:
+    for i in range(0, len(items), size):
+        yield items[i : i + size]

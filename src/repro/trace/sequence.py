@@ -1,0 +1,179 @@
+"""Access sequences: the fundamental input of the placement problem.
+
+An :class:`AccessSequence` couples an ordered *variable universe* ``V``
+with an access string ``S`` (Sec. II-B of the paper). The variable order
+matters: the baseline AFD heuristic breaks frequency ties by variable
+declaration order, which is how the paper's Fig. 3-(c) assignment
+``{a,g,b,d,h} / {e,i,c,f}`` arises.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from functools import cached_property
+
+import numpy as np
+
+from repro.errors import TraceError
+
+
+class AccessSequence:
+    """An immutable access sequence over a fixed, ordered variable set.
+
+    Parameters
+    ----------
+    accesses:
+        The sequence ``S`` of variable names, in program order.
+    variables:
+        The declared variable universe, in declaration order. Defaults to
+        the order of first appearance in ``accesses``. May contain
+        variables that are never accessed (they still need a location).
+    name:
+        Optional label used in reports.
+    """
+
+    __slots__ = ("_variables", "_index", "_codes", "_name", "__dict__")
+
+    def __init__(
+        self,
+        accesses: Sequence[str],
+        variables: Sequence[str] | None = None,
+        name: str = "",
+    ) -> None:
+        accesses = list(accesses)
+        if variables is None:
+            seen: dict[str, None] = {}
+            for a in accesses:
+                if a not in seen:
+                    seen[a] = None
+            variables = list(seen)
+        else:
+            variables = list(variables)
+        if not variables:
+            raise TraceError("an access sequence needs at least one variable")
+        index: dict[str, int] = {}
+        for i, v in enumerate(variables):
+            if not isinstance(v, str) or not v:
+                raise TraceError(f"variable names must be non-empty strings, got {v!r}")
+            if v in index:
+                raise TraceError(f"duplicate variable {v!r}")
+            index[v] = i
+        codes = np.empty(len(accesses), dtype=np.int64)
+        for i, a in enumerate(accesses):
+            code = index.get(a)
+            if code is None:
+                raise TraceError(f"access {i} refers to undeclared variable {a!r}")
+            codes[i] = code
+        codes.setflags(write=False)
+        self._variables = tuple(variables)
+        self._index = index
+        self._codes = codes
+        self._name = name
+
+    # -- basic protocol ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return int(self._codes.size)
+
+    def __iter__(self):
+        for c in self._codes:
+            yield self._variables[c]
+
+    def __getitem__(self, i: int) -> str:
+        return self._variables[self._codes[i]]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AccessSequence):
+            return NotImplemented
+        return (
+            self._variables == other._variables
+            and np.array_equal(self._codes, other._codes)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._variables, self._codes.tobytes()))
+
+    def __repr__(self) -> str:
+        label = f" {self._name!r}" if self._name else ""
+        return (
+            f"<AccessSequence{label}: {len(self._variables)} vars, "
+            f"{len(self)} accesses>"
+        )
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def variables(self) -> tuple[str, ...]:
+        """The declared variable universe, in declaration order."""
+        return self._variables
+
+    @property
+    def codes(self) -> np.ndarray:
+        """Integer codes of the accesses (indices into :attr:`variables`)."""
+        return self._codes
+
+    @property
+    def num_variables(self) -> int:
+        return len(self._variables)
+
+    @property
+    def accesses(self) -> tuple[str, ...]:
+        return tuple(self._variables[c] for c in self._codes)
+
+    def index_of(self, variable: str) -> int:
+        """Declaration index of ``variable`` (raises for unknown names)."""
+        try:
+            return self._index[variable]
+        except KeyError:
+            raise TraceError(f"unknown variable {variable!r}") from None
+
+    def __contains__(self, variable: str) -> bool:
+        return variable in self._index
+
+    # -- derived data ------------------------------------------------------
+
+    @cached_property
+    def frequencies(self) -> np.ndarray:
+        """Access frequency ``A_v`` per variable code (zero for unused)."""
+        counts = np.bincount(self._codes, minlength=len(self._variables))
+        counts.setflags(write=False)
+        return counts
+
+    def frequency(self, variable: str) -> int:
+        return int(self.frequencies[self.index_of(variable)])
+
+    def restricted_to(self, subset: Iterable[str], name: str = "") -> "AccessSequence":
+        """The subsequence of accesses touching ``subset`` variables only.
+
+        This is the per-DBC local sequence (``S0``/``S1`` in Fig. 3): a
+        placement splits ``S`` into one disjoint subsequence per DBC, and
+        each DBC's shift cost is computed over its own subsequence.
+        Variables in ``subset`` keep their relative declaration order.
+        """
+        wanted = set(subset)
+        unknown = wanted.difference(self._index)
+        if unknown:
+            raise TraceError(f"unknown variables in subset: {sorted(unknown)}")
+        keep_vars = [v for v in self._variables if v in wanted]
+        if not keep_vars:
+            raise TraceError("subset must contain at least one variable")
+        mask = np.isin(self._codes, [self._index[v] for v in keep_vars])
+        kept = [self._variables[c] for c in self._codes[mask]]
+        return AccessSequence(kept, variables=keep_vars, name=name or self._name)
+
+    def with_name(self, name: str) -> "AccessSequence":
+        clone = AccessSequence.__new__(AccessSequence)
+        clone._variables = self._variables
+        clone._index = self._index
+        clone._codes = self._codes
+        clone._name = name
+        return clone
+
+    def consecutive_pairs(self) -> Iterable[tuple[str, str]]:
+        """Yield the ``(s_i, s_{i+1})`` pairs used to build access graphs."""
+        for i in range(len(self) - 1):
+            yield self._variables[self._codes[i]], self._variables[self._codes[i + 1]]

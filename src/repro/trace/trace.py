@@ -1,0 +1,130 @@
+"""Memory traces: access sequences annotated with read/write direction.
+
+The placement algorithms only need the access *order*; the RTM simulator
+additionally needs to know which accesses are writes to price read vs
+write energy and latency (Table I differentiates the two).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.trace.sequence import AccessSequence
+from repro.util.rng import ensure_rng
+
+
+class MemoryTrace:
+    """An :class:`AccessSequence` plus a per-access write flag.
+
+    The default construction marks the *first* access of every variable as
+    a write (a value must be produced before it can be consumed) and all
+    subsequent accesses as reads; generators can override this with an
+    explicit mask or a stochastic write ratio.
+    """
+
+    __slots__ = ("_seq", "_writes")
+
+    def __init__(
+        self,
+        sequence: AccessSequence,
+        writes: Sequence[bool] | np.ndarray | None = None,
+    ) -> None:
+        if writes is None:
+            writes = _first_access_writes(sequence)
+        writes = np.asarray(writes, dtype=bool)
+        if writes.shape != (len(sequence),):
+            raise TraceError(
+                f"writes mask has shape {writes.shape}, expected ({len(sequence)},)"
+            )
+        writes = writes.copy()
+        writes.setflags(write=False)
+        self._seq = sequence
+        self._writes = writes
+
+    @classmethod
+    def from_accesses(
+        cls,
+        accesses: Sequence[str],
+        variables: Sequence[str] | None = None,
+        writes: Sequence[bool] | None = None,
+        name: str = "",
+    ) -> "MemoryTrace":
+        return cls(AccessSequence(accesses, variables=variables, name=name), writes)
+
+    @classmethod
+    def with_write_ratio(
+        cls,
+        sequence: AccessSequence,
+        write_ratio: float,
+        rng: int | np.random.Generator | None = None,
+    ) -> "MemoryTrace":
+        """Mark first accesses as writes plus a random fraction of the rest."""
+        if not 0.0 <= write_ratio <= 1.0:
+            raise TraceError(f"write_ratio must be in [0, 1], got {write_ratio}")
+        gen = ensure_rng(rng)
+        writes = _first_access_writes(sequence)
+        rest = ~writes
+        writes[rest] = gen.random(int(rest.sum())) < write_ratio
+        return cls(sequence, writes)
+
+    # -- protocol -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._seq)
+
+    def __repr__(self) -> str:
+        return (
+            f"<MemoryTrace {self._seq.name!r}: {len(self)} accesses, "
+            f"{self.num_writes} writes>"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MemoryTrace):
+            return NotImplemented
+        return self._seq == other._seq and np.array_equal(self._writes, other._writes)
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def sequence(self) -> AccessSequence:
+        return self._seq
+
+    @property
+    def name(self) -> str:
+        return self._seq.name
+
+    @property
+    def variables(self) -> tuple[str, ...]:
+        return self._seq.variables
+
+    @property
+    def writes(self) -> np.ndarray:
+        """Boolean mask, True where the access is a write."""
+        return self._writes
+
+    @property
+    def num_writes(self) -> int:
+        return int(self._writes.sum())
+
+    @property
+    def num_reads(self) -> int:
+        return len(self) - self.num_writes
+
+    def operations(self) -> Iterable[tuple[str, bool]]:
+        """Yield ``(variable, is_write)`` per access, in order."""
+        for name, w in zip(self._seq, self._writes):
+            yield name, bool(w)
+
+
+def _first_access_writes(sequence: AccessSequence) -> np.ndarray:
+    writes = np.zeros(len(sequence), dtype=bool)
+    seen: set[int] = set()
+    for i, code in enumerate(sequence.codes):
+        c = int(code)
+        if c not in seen:
+            seen.add(c)
+            writes[i] = True
+    return writes

@@ -1,0 +1,23 @@
+"""Small shared utilities: seeded RNG handling, math helpers, tables."""
+
+from repro.util.mathx import (
+    geometric_mean,
+    improvement_factor,
+    normalize_to,
+    percent_improvement,
+    safe_div,
+)
+from repro.util.rng import ensure_rng, spawn_rng
+from repro.util.tables import format_table, format_markdown_table
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rng",
+    "geometric_mean",
+    "improvement_factor",
+    "normalize_to",
+    "percent_improvement",
+    "safe_div",
+    "format_table",
+    "format_markdown_table",
+]

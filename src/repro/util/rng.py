@@ -1,0 +1,41 @@
+"""Deterministic random-number-generator helpers.
+
+All stochastic components of the library (trace generators, the genetic
+algorithm, the random-walk search) accept either a seed or an existing
+:class:`numpy.random.Generator`. These helpers make that convention
+uniform so experiments are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+RngLike = "int | np.random.Generator | None"
+
+
+def ensure_rng(rng: int | np.random.Generator | None) -> np.random.Generator:
+    """Coerce ``rng`` into a :class:`numpy.random.Generator`.
+
+    ``None`` yields a generator seeded from entropy, an ``int`` seeds a new
+    generator, and an existing generator is returned unchanged.
+    """
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(int(rng))
+    raise TypeError(f"expected seed, Generator or None, got {type(rng).__name__}")
+
+
+def spawn_rng(rng: np.random.Generator, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` independent child generators from ``rng``.
+
+    Used to hand each benchmark / GA island its own stream so that running
+    subsets of an experiment matrix yields the same per-cell results as
+    running the full matrix.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    seeds = rng.integers(0, 2**63 - 1, size=count, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]

@@ -1,0 +1,36 @@
+"""Shared fixtures: the paper's worked example and small generated inputs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.trace.generators.synthetic import sliding_window_sequence
+from repro.trace.sequence import AccessSequence
+from repro.trace.trace import MemoryTrace
+
+from tests.paperdata import FIG3_ACCESSES, FIG3_VARIABLES
+
+
+@pytest.fixture
+def fig3_sequence() -> AccessSequence:
+    return AccessSequence(FIG3_ACCESSES, variables=FIG3_VARIABLES, name="fig3")
+
+
+@pytest.fixture
+def fig3_trace(fig3_sequence) -> MemoryTrace:
+    return MemoryTrace(fig3_sequence)
+
+
+@pytest.fixture
+def small_sequence() -> AccessSequence:
+    """A deterministic 30-variable statement-style sequence."""
+    return sliding_window_sequence(
+        30, 180, window=4, locality=0.45, shared_vars=3, shared_ratio=0.15,
+        revisit=0.1, rng=1234, name="small",
+    )
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(99)

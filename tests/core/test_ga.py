@@ -1,0 +1,142 @@
+"""Unit tests for the genetic algorithm (Sec. III-C)."""
+
+import pytest
+
+from repro.core.cost import shift_cost
+from repro.core.ga import GAConfig, GeneticPlacer
+from repro.core.policies import get_policy
+from repro.errors import CapacityError, SolverError
+
+
+SMALL_GA = GAConfig(mu=10, lam=10, generations=8, patience=None)
+
+
+@pytest.fixture
+def placer(fig3_sequence):
+    return GeneticPlacer(fig3_sequence, 2, 512, SMALL_GA, rng=42)
+
+
+class TestConfig:
+    def test_paper_defaults(self):
+        cfg = GAConfig()
+        assert cfg.mu == 100
+        assert cfg.lam == 100
+        assert cfg.generations == 200
+        assert cfg.tournament_size == 4
+        assert cfg.mutation_weights == (10.0, 10.0, 3.0)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"mu": 0}, {"lam": 0}, {"generations": -1},
+        {"tournament_size": 0}, {"mutation_rate": 1.5},
+        {"mutation_weights": (1.0, 2.0)},
+        {"mutation_weights": (0.0, 0.0, 0.0)},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(SolverError):
+            GAConfig(**kwargs).validate()
+
+    def test_capacity_checked_up_front(self, fig3_sequence):
+        with pytest.raises(CapacityError):
+            GeneticPlacer(fig3_sequence, 2, 2, SMALL_GA)
+
+
+class TestOperators:
+    def test_crossover_children_valid(self, placer):
+        a = placer.random_individual()
+        b = placer.random_individual()
+        for child in placer.crossover(a, b):
+            placer.validate_individual(child)
+
+    def test_crossover_preserves_parent_union(self, placer):
+        a = placer.random_individual()
+        b = placer.random_individual()
+        ca, cb = placer.crossover(a, b)
+        flat = sorted(v for dbc in ca for v in dbc)
+        assert flat == sorted(v for dbc in a for v in dbc)
+
+    def test_crossover_does_not_mutate_parents(self, placer):
+        a = placer.random_individual()
+        b = placer.random_individual()
+        a_copy = [list(d) for d in a]
+        placer.crossover(a, b)
+        assert a == a_copy
+
+    def test_mutation_children_valid(self, placer):
+        ind = placer.random_individual()
+        for _ in range(50):
+            ind = placer.mutate(ind)
+            placer.validate_individual(ind)
+
+    def test_mutation_reachability(self, placer):
+        """Repeated mutations explore different configurations."""
+        ind = placer.random_individual()
+        seen = set()
+        for _ in range(60):
+            ind = placer.mutate(ind)
+            seen.add(tuple(tuple(d) for d in ind))
+        assert len(seen) > 10
+
+    def test_repair_enforces_capacity(self, fig3_sequence):
+        tight = GeneticPlacer(fig3_sequence, 3, 4, SMALL_GA, rng=0)
+        for _ in range(30):
+            a = tight.random_individual()
+            b = tight.random_individual()
+            for child in tight.crossover(a, b):
+                tight.validate_individual(child)
+                child = tight.mutate(child)
+                tight.validate_individual(child)
+
+
+class TestSeeding:
+    def test_seeds_are_valid(self, placer):
+        for seed in placer.seed_individuals():
+            placer.validate_individual(seed)
+
+    def test_seeded_run_at_least_matches_heuristics(self, fig3_sequence):
+        ga = GeneticPlacer(fig3_sequence, 2, 512, SMALL_GA, rng=1)
+        result = ga.run()
+        dma_sr = get_policy("DMA-SR").place(fig3_sequence, 2, 512)
+        assert result.cost <= shift_cost(fig3_sequence, dma_sr)
+
+
+class TestRun:
+    def test_result_consistency(self, fig3_sequence):
+        result = GeneticPlacer(fig3_sequence, 2, 512, SMALL_GA, rng=7).run()
+        assert result.cost == shift_cost(fig3_sequence, result.placement)
+        assert result.generations_run == SMALL_GA.generations
+        assert result.evaluations > 0
+
+    def test_history_monotone_nonincreasing(self, fig3_sequence):
+        result = GeneticPlacer(fig3_sequence, 2, 512, SMALL_GA, rng=7).run()
+        assert all(a >= b for a, b in zip(result.history, result.history[1:]))
+
+    def test_deterministic_for_seed(self, fig3_sequence):
+        r1 = GeneticPlacer(fig3_sequence, 2, 512, SMALL_GA, rng=5).run()
+        r2 = GeneticPlacer(fig3_sequence, 2, 512, SMALL_GA, rng=5).run()
+        assert r1.cost == r2.cost
+        assert r1.placement == r2.placement
+
+    def test_patience_stops_early(self, fig3_sequence):
+        cfg = GAConfig(mu=8, lam=8, generations=100, patience=3)
+        result = GeneticPlacer(fig3_sequence, 2, 512, cfg, rng=3).run()
+        assert result.generations_run < 100
+
+    def test_zero_generations_returns_best_seed(self, fig3_sequence):
+        cfg = GAConfig(mu=8, lam=8, generations=0)
+        result = GeneticPlacer(fig3_sequence, 2, 512, cfg, rng=3).run()
+        assert result.cost <= 39  # at least as good as raw AFD
+
+    def test_finds_optimum_on_fig3(self, fig3_sequence):
+        """The exact optimum for the running example is 9 shifts."""
+        cfg = GAConfig(mu=30, lam=30, generations=40)
+        result = GeneticPlacer(fig3_sequence, 2, 512, cfg, rng=1).run()
+        assert result.cost == 9
+
+    def test_placement_covers_all_variables(self, fig3_sequence):
+        result = GeneticPlacer(fig3_sequence, 2, 512, SMALL_GA, rng=7).run()
+        result.placement.validate_for(fig3_sequence, num_dbcs=2, capacity=512)
+
+    def test_no_heuristic_seeding_still_works(self, fig3_sequence):
+        cfg = GAConfig(mu=10, lam=10, generations=5, seed_with_heuristics=False)
+        result = GeneticPlacer(fig3_sequence, 2, 512, cfg, rng=2).run()
+        result.placement.validate_for(fig3_sequence, num_dbcs=2, capacity=512)

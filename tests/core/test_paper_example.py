@@ -1,0 +1,98 @@
+"""Locks the full Fig. 3 walk-through to the paper's published numbers.
+
+This is the reproduction's keystone test: the AFD baseline must produce
+the exact assignment and 39-shift cost of Fig. 3-(c), and Algorithm 1
+must extract the exact disjoint set of Fig. 3-(d/e).
+"""
+
+from repro.core.cost import per_dbc_shift_costs, shift_cost
+from repro.core.inter.afd import afd_order, afd_partition, afd_placement
+from repro.core.inter.dma import dma_partition, dma_placement, dma_split
+from repro.core.placement import Placement
+
+from tests.paperdata import (
+    FIG3_AFD_COSTS,
+    FIG3_AFD_DBC0,
+    FIG3_AFD_DBC1,
+    FIG3_AFD_TOTAL,
+    FIG3_DMA_TOTAL,
+    FIG3_VDJ,
+    FIG3_VDJ_FREQ_SUM,
+)
+
+
+class TestAFDExample:
+    def test_afd_frequency_order(self, fig3_sequence):
+        # descending frequency, stable by declaration: a(5), e,g,i(3), rest(2)
+        assert afd_order(fig3_sequence) == list("aegibcdfh")
+
+    def test_afd_assignment_matches_fig3c(self, fig3_sequence):
+        dbcs = afd_partition(fig3_sequence, 2, 512)
+        assert tuple(dbcs[0]) == FIG3_AFD_DBC0
+        assert tuple(dbcs[1]) == FIG3_AFD_DBC1
+
+    def test_afd_costs_match_fig3c(self, fig3_sequence):
+        placement = afd_placement(fig3_sequence, 2, 512)
+        costs = per_dbc_shift_costs(fig3_sequence, placement)
+        assert tuple(costs) == FIG3_AFD_COSTS
+        assert sum(costs) == FIG3_AFD_TOTAL
+
+
+class TestDMAExample:
+    def test_vdj_matches_fig3(self, fig3_sequence):
+        split = dma_split(fig3_sequence)
+        assert split.vdj == FIG3_VDJ
+
+    def test_vdj_frequency_sum_is_11(self, fig3_sequence):
+        split = dma_split(fig3_sequence)
+        assert split.disjoint_frequency_sum == FIG3_VDJ_FREQ_SUM
+
+    def test_vndj_holds_the_rest(self, fig3_sequence):
+        split = dma_split(fig3_sequence)
+        assert sorted(split.vndj) == ["a", "f", "g", "i"]
+
+    def test_partition_reserves_one_dbc(self, fig3_sequence):
+        dbcs, k = dma_partition(fig3_sequence, 2, 512)
+        assert k == 1
+        assert tuple(dbcs[0]) == FIG3_VDJ  # ascending first-occurrence order
+
+    def test_vndj_dealt_by_descending_frequency(self, fig3_sequence):
+        dbcs, _ = dma_partition(fig3_sequence, 2, 512)
+        assert dbcs[1] == ["a", "g", "i", "f"]
+
+    def test_dma_total_beats_afd_by_papers_margin(self, fig3_sequence):
+        placement = dma_placement(fig3_sequence, 2, 512)
+        total = shift_cost(fig3_sequence, placement)
+        assert total == FIG3_DMA_TOTAL
+        # Paper quotes 39 -> 11 (3.54x); the literal Algorithm 1 deal order
+        # gives 10, one better than the figure's hand ordering.
+        assert FIG3_AFD_TOTAL / total >= 3.54
+
+    def test_figures_hand_ordering_costs_11(self, fig3_sequence):
+        """The DBC1 order drawn in Fig. 3-(d) (a f g i) costs exactly 11."""
+        figure = Placement([FIG3_VDJ, ("a", "f", "g", "i")])
+        assert shift_cost(fig3_sequence, figure) == 11
+
+    def test_disjoint_dbc_cost_bounded_by_size(self, fig3_sequence):
+        """l disjoint variables in access order cost at most l-1 shifts."""
+        placement = dma_placement(fig3_sequence, 2, 512)
+        costs = per_dbc_shift_costs(fig3_sequence, placement)
+        assert costs[0] <= len(FIG3_VDJ) - 1
+
+    def test_fairness_guard_inactive_on_example(self, fig3_sequence):
+        pure, k_pure = dma_partition(fig3_sequence, 2, 512, fairness_guard=False)
+        guarded, k_guard = dma_partition(fig3_sequence, 2, 512, fairness_guard=True)
+        assert pure == guarded
+        assert k_pure == k_guard == 1
+
+
+class TestScanSemantics:
+    def test_a_rejected_by_nested_frequency_test(self, fig3_sequence):
+        """Sec. III-B: A_a = 5 is not greater than A_b + A_c + A_d = 6."""
+        split = dma_split(fig3_sequence)
+        assert "a" not in split.vdj
+
+    def test_e_accepted_over_nested_f(self, fig3_sequence):
+        """When e is examined only f is nested in its lifespan (A_f = 2 < 3)."""
+        split = dma_split(fig3_sequence)
+        assert "e" in split.vdj

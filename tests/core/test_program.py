@@ -1,0 +1,117 @@
+"""Unit tests for whole-program placement."""
+
+import pytest
+
+from repro.core.cost import shift_cost
+from repro.core.program import (
+    best_program_placement,
+    evaluate_program,
+    fuse_sequences,
+    per_sequence_reference,
+    place_program,
+)
+from repro.errors import CapacityError, PlacementError
+from repro.trace.liveness import Liveness
+from repro.trace.sequence import AccessSequence
+
+
+@pytest.fixture
+def procedures():
+    """Three 'procedures' sharing the global 'g'."""
+    return [
+        AccessSequence(list("aabga"), variables=["a", "b", "g"], name="p0"),
+        AccessSequence(list("ccgdd"), variables=["c", "d", "g"], name="p1"),
+        AccessSequence(list("eegff"), variables=["e", "f", "g"], name="p2"),
+    ]
+
+
+class TestFusion:
+    def test_shared_variables_fused_once(self, procedures):
+        fused = fuse_sequences(procedures)
+        assert fused.num_variables == 7  # a b g c d e f
+        assert len(fused) == sum(len(s) for s in procedures)
+
+    def test_private_locals_become_disjoint(self, procedures):
+        fused = fuse_sequences(procedures)
+        live = Liveness(fused)
+        assert live.disjoint("a", "c")
+        assert live.disjoint("b", "f")
+        assert not live.disjoint("a", "g")  # the global spans everything
+
+    def test_empty_rejected(self):
+        with pytest.raises(PlacementError):
+            fuse_sequences([])
+
+
+class TestPlaceProgram:
+    def test_single_layout_covers_all_sequences(self, procedures):
+        result = place_program(procedures, 2, 8, policy="DMA-SR")
+        for seq in procedures:
+            # every sequence can be scored under the one placement
+            assert shift_cost(seq, result.placement) >= 0
+        assert set(result.per_sequence_costs) == {"p0", "p1", "p2"}
+
+    def test_total_is_sum_of_parts(self, procedures):
+        result = place_program(procedures, 2, 8)
+        assert result.total_cost == sum(result.per_sequence_costs.values())
+
+    def test_policy_object_accepted(self, procedures):
+        from repro.core.policies import get_policy
+        result = place_program(procedures, 2, 8, policy=get_policy("AFD-OFU"))
+        assert result.total_cost >= 0
+
+    def test_capacity_checked_on_union(self, procedures):
+        with pytest.raises(CapacityError):
+            place_program(procedures, 2, 3)  # union has 7 variables
+
+    def test_shared_variable_has_one_location(self, procedures):
+        result = place_program(procedures, 2, 8)
+        dbc, slot = result.placement.location_of("g")
+        assert 0 <= dbc < 2
+
+
+class TestReferences:
+    def test_program_cost_at_least_private_optimum(self, procedures):
+        """One shared layout can never beat giving each sequence its own
+        *optimal* private layout of the full device (heuristic private
+        layouts can legitimately lose to a lucky shared one)."""
+        from repro.core.exact import exact_optimal_placement
+        shared = place_program(procedures, 2, 8, policy="DMA-SR")
+        private_optimum = sum(
+            exact_optimal_placement(seq, 2, 8)[1] for seq in procedures
+        )
+        assert shared.total_cost >= private_optimum
+
+    def test_per_sequence_reference_runs(self, procedures):
+        reference = per_sequence_reference(procedures, 2, 8, policy="DMA-SR")
+        assert reference >= 0
+
+    def test_best_program_placement_picks_minimum(self, procedures):
+        name, best = best_program_placement(
+            procedures, 2, 8, policies=("AFD-OFU", "DMA-SR")
+        )
+        for other in ("AFD-OFU", "DMA-SR"):
+            candidate = place_program(procedures, 2, 8, policy=other)
+            assert best.total_cost <= candidate.total_cost
+        assert name in ("AFD-OFU", "DMA-SR")
+
+    def test_best_requires_candidates(self, procedures):
+        with pytest.raises(PlacementError):
+            best_program_placement(procedures, 2, 8, policies=())
+
+
+class TestEvaluate:
+    def test_unnamed_sequences_get_keys(self):
+        seqs = [AccessSequence(list("ab")), AccessSequence(list("ba"))]
+        from repro.core.policies import get_policy
+        placement = get_policy("DMA-SR").place(fuse_sequences(seqs), 1, 4)
+        costs = evaluate_program(placement, seqs)
+        assert len(costs) == 2
+
+    def test_suite_program_end_to_end(self):
+        from repro.trace.generators.offsetstone import load_benchmark
+        bench = load_benchmark("dspstone", scale=0.2, seed=3)
+        seqs = [t.sequence for t in bench.traces]
+        result = place_program(seqs, 8, 128, policy="DMA-SR")
+        assert result.total_cost >= 0
+        assert len(result.per_sequence_costs) == len(seqs)

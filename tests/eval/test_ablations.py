@@ -1,0 +1,88 @@
+"""Unit tests for the library-level ablation experiments."""
+
+from repro.eval.ablations import (
+    ablation_multiset,
+    ablation_ports,
+    ablation_swapping,
+)
+from repro.eval.profiles import EvalProfile
+
+TINY = EvalProfile(
+    name="tiny", suite_scale=0.12, rw_iterations=10,
+    benchmarks=("cc65", "jpeg"),
+)
+
+
+class TestPorts:
+    def test_structure_and_relations(self):
+        result = ablation_ports(TINY, benchmarks=("cc65",), ports=(1, 2))
+        assert len(result.rows) == 2
+        for pt in (1, 2):
+            assert result.summary[f"dma_sr_vs_afd_x@{pt}p"] > 0.8
+
+    def test_more_ports_never_increase_cost(self):
+        result = ablation_ports(TINY, benchmarks=("jpeg",), ports=(1, 2, 4))
+        for column in range(1, 4):
+            values = [row[column] for row in result.rows]
+            assert values == sorted(values, reverse=True)
+
+
+class TestMultiset:
+    def test_extension_wins_on_phased(self):
+        result = ablation_multiset(TINY, seeds=(0, 1))
+        assert result.summary["multi_vs_single_x"] > 1.0
+
+    def test_rows_per_seed(self):
+        result = ablation_multiset(TINY, seeds=(0, 1, 2))
+        assert len(result.rows) == 3
+
+
+class TestSwapping:
+    def test_static_dma_beats_swapped_afd(self):
+        result = ablation_swapping(TINY, benchmark="cc65")
+        assert result.summary["dma_vs_swapped_afd_x"] >= 1.0
+
+    def test_rows_cover_all_schemes(self):
+        result = ablation_swapping(TINY, benchmark="jpeg")
+        assert [r[0] for r in result.rows] == \
+            ["AFD-OFU", "AFD-OFU+swap", "DMA-SR"]
+
+
+class TestDbcSweep:
+    def test_sweep_covers_interpolated_points(self):
+        from repro.eval.ablations import ablation_dbc_sweep
+        result = ablation_dbc_sweep(TINY, benchmarks=("cc65",),
+                                    dbc_counts=(2, 4, 8))
+        assert [row[0] for row in result.rows] == [2, 4, 8]
+        assert result.summary["best_energy_dbcs"] in (2.0, 4.0, 8.0)
+
+    def test_iso_capacity_maintained(self):
+        from repro.eval.ablations import ablation_dbc_sweep
+        result = ablation_dbc_sweep(TINY, benchmarks=("cc65",),
+                                    dbc_counts=(2, 4, 8, 16))
+        for row in result.rows:
+            assert row[0] * row[1] * 32 == 4096 * 8
+
+    def test_odd_splits_skipped(self):
+        from repro.eval.ablations import ablation_dbc_sweep
+        result = ablation_dbc_sweep(TINY, benchmarks=("cc65",),
+                                    dbc_counts=(3, 4))  # 3 doesn't divide
+        assert [row[0] for row in result.rows] == [4]
+
+
+class TestGraphDot:
+    def test_dot_export(self, fig3_sequence):
+        from repro.trace.graph import AccessGraph
+        dot = AccessGraph(fig3_sequence).to_dot()
+        assert dot.startswith("graph access_graph {")
+        assert '"a" -- "b"' in dot or '"b" -- "a"' in dot
+        assert dot.rstrip().endswith("}")
+
+
+class TestCLIWiring:
+    def test_cli_runs_ablation(self, capsys, monkeypatch):
+        from repro.cli import main_experiment
+        monkeypatch.setenv("REPRO_PROFILE", "smoke")
+        assert main_experiment(["ablation-multiset"]) == 0
+        out = capsys.readouterr().out
+        assert "Multi-set DMA" in out

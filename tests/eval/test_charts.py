@@ -1,0 +1,91 @@
+"""Unit tests for the ASCII chart renderers."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.eval.charts import (
+    render_bar_chart,
+    render_series_chart,
+    render_stacked_chart,
+)
+
+
+class TestBarChart:
+    def test_scaling_to_peak(self):
+        text = render_bar_chart([("a", 10.0), ("b", 5.0)], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_title_and_unit(self):
+        text = render_bar_chart([("x", 1.0)], title="T", unit=" pJ")
+        assert text.splitlines()[0] == "T"
+        assert "pJ" in text
+
+    def test_zero_value_gets_no_bar(self):
+        text = render_bar_chart([("a", 1.0), ("z", 0.0)], width=8)
+        assert "|        |" in text.splitlines()[1]
+
+    def test_all_zero_safe(self):
+        render_bar_chart([("a", 0.0)])
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            render_bar_chart([])
+        with pytest.raises(ExperimentError):
+            render_bar_chart([("a", -1.0)])
+
+
+class TestStackedChart:
+    def test_segments_and_legend(self):
+        text = render_stacked_chart(
+            [("row", {"leak": 2.0, "shift": 2.0})], width=10
+        )
+        assert "#####=====" in text
+        assert "legend: #=leak  ==shift" in text
+
+    def test_rows_share_scale(self):
+        text = render_stacked_chart(
+            [("big", {"a": 10.0}), ("small", {"a": 5.0})], width=10
+        )
+        lines = text.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_missing_series_treated_as_zero(self):
+        text = render_stacked_chart(
+            [("r1", {"a": 1.0}), ("r2", {"b": 1.0})], width=8
+        )
+        assert "legend" in text
+
+    def test_too_many_series_rejected(self):
+        parts = {f"s{i}": 1.0 for i in range(9)}
+        with pytest.raises(ExperimentError):
+            render_stacked_chart([("r", parts)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            render_stacked_chart([])
+
+
+class TestSeriesChart:
+    def test_grouped_layout(self):
+        text = render_series_chart(
+            ["shifts", "energy"],
+            {"2": [1.0, 2.0], "4": [2.0, 1.0]},
+            width=8,
+        )
+        assert "shifts:" in text and "energy:" in text
+        assert text.count("|") == 8  # 2 groups x 2 series x 2 pipes
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ExperimentError):
+            render_series_chart(["x"], {"s": [1.0, 2.0]})
+
+    def test_negative_rejected(self):
+        with pytest.raises(ExperimentError):
+            render_series_chart(["x"], {"s": [-1.0]})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            render_series_chart([], {})

@@ -1,0 +1,54 @@
+"""Unit tests for evaluation profiles."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.eval.profiles import (
+    FULL_PROFILE,
+    QUICK_PROFILE,
+    SMOKE_PROFILE,
+    profile_from_env,
+)
+
+
+class TestProfiles:
+    def test_full_uses_paper_budgets(self):
+        assert FULL_PROFILE.suite_scale == 1.0
+        assert FULL_PROFILE.ga_options == {}
+        assert FULL_PROFILE.rw_iterations == 60_000
+        assert len(FULL_PROFILE.benchmarks) == 31
+
+    def test_quick_scales_down(self):
+        assert QUICK_PROFILE.suite_scale < 1.0
+        assert QUICK_PROFILE.ga_options["generations"] < 200
+        assert QUICK_PROFILE.rw_iterations < 60_000
+
+    def test_rw_budget_matches_ga_upper_bound_quick(self):
+        ga = QUICK_PROFILE.ga_options
+        upper = ga["generations"] * (ga["mu"] + ga["lam"])
+        assert QUICK_PROFILE.rw_iterations == upper
+
+    def test_smoke_subset(self):
+        assert set(SMOKE_PROFILE.benchmarks) < set(FULL_PROFILE.benchmarks)
+
+    def test_describe(self):
+        assert "quick" in QUICK_PROFILE.describe()
+
+
+class TestEnvSelection:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PROFILE", raising=False)
+        assert profile_from_env().name == "quick"
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "smoke")
+        assert profile_from_env().name == "smoke"
+
+    def test_case_insensitive(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", " FULL ")
+        assert profile_from_env().name == "full"
+
+    def test_unknown_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "warp9")
+        with pytest.raises(ExperimentError):
+            profile_from_env()

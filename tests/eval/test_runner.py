@@ -1,0 +1,75 @@
+"""Unit tests for the experiment matrix runner."""
+
+import pytest
+
+from repro.core.policies import get_policy
+from repro.eval.profiles import EvalProfile
+from repro.eval.runner import (
+    build_policies,
+    load_suite,
+    run_matrix,
+    run_policy_on_program,
+)
+from repro.rtm.geometry import iso_capacity_sweep
+from repro.trace.generators.offsetstone import load_benchmark
+
+TINY = EvalProfile(
+    name="tiny",
+    suite_scale=0.12,
+    ga_options={"mu": 6, "lam": 6, "generations": 3},
+    rw_iterations=20,
+    benchmarks=("adpcm", "dct"),
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_matrix():
+    return run_matrix(("AFD-OFU", "DMA-SR"), TINY,
+                      configs=iso_capacity_sweep(dbc_counts=(2, 4)))
+
+
+class TestRunPolicyOnProgram:
+    def test_cell_aggregates_all_traces(self):
+        bench = load_benchmark("adpcm", scale=0.12, seed=TINY.seed)
+        config = iso_capacity_sweep(dbc_counts=(4,))[0]
+        cell = run_policy_on_program(bench, get_policy("DMA-SR"), config)
+        assert cell.report.accesses == bench.total_accesses
+        assert cell.benchmark == "adpcm"
+        assert cell.dbcs == 4
+        assert cell.policy == "DMA-SR"
+
+    def test_analytic_equals_simulated_shifts(self):
+        bench = load_benchmark("dct", scale=0.12, seed=TINY.seed)
+        config = iso_capacity_sweep(dbc_counts=(4,))[0]
+        cell = run_policy_on_program(bench, get_policy("AFD-OFU"), config)
+        assert cell.shifts == cell.report.shifts
+
+
+class TestRunMatrix:
+    def test_all_cells_present(self, tiny_matrix):
+        keys = set(tiny_matrix)
+        assert ("adpcm", "AFD-OFU", 2) in keys
+        assert ("dct", "DMA-SR", 4) in keys
+        assert len(keys) == 2 * 2 * 2
+
+    def test_cells_deterministic_across_runs(self, tiny_matrix):
+        again = run_matrix(("AFD-OFU", "DMA-SR"), TINY,
+                           configs=iso_capacity_sweep(dbc_counts=(2, 4)))
+        for key, cell in tiny_matrix.items():
+            assert again[key].shifts == cell.shifts
+
+    def test_metrics_positive(self, tiny_matrix):
+        for cell in tiny_matrix.values():
+            assert cell.report.runtime_ns > 0
+            assert cell.report.total_energy_pj > 0
+
+
+class TestBuildPolicies:
+    def test_profile_budgets_applied(self):
+        policies = build_policies(("GA", "RW", "DMA-SR"), TINY)
+        names = [p.name for p in policies]
+        assert names == ["GA", "RW", "DMA-SR"]
+
+    def test_load_suite_respects_benchmark_list(self):
+        suite = load_suite(TINY)
+        assert [b.name for b in suite] == ["adpcm", "dct"]

@@ -1,0 +1,64 @@
+"""Property-based tests for the lower bounds and intra-heuristic quality."""
+
+from hypothesis import given, settings
+
+from repro.core.bounds import (
+    degree_lower_bound,
+    edge_lower_bound,
+    intra_lower_bound,
+)
+from repro.core.cost import shift_cost
+from repro.core.intra import (
+    chen_order,
+    ofu_order,
+    optimal_intra_cost,
+    shifts_reduce_order,
+    tsp_order,
+)
+from repro.core.placement import Placement
+
+from strategies import access_sequences
+
+
+@given(seq=access_sequences(max_vars=8, max_length=40))
+@settings(max_examples=80, deadline=None)
+def test_degree_bound_dominates_edge_bound(seq):
+    variables = list(seq.variables)
+    assert degree_lower_bound(seq, variables) >= edge_lower_bound(seq, variables)
+
+
+@given(seq=access_sequences(max_vars=8, max_length=40))
+@settings(max_examples=60, deadline=None)
+def test_bounds_never_exceed_optimum(seq):
+    variables = list(seq.variables)
+    optimum = optimal_intra_cost(seq, variables)
+    assert intra_lower_bound(seq, variables) <= optimum
+
+
+@given(seq=access_sequences(max_vars=8, max_length=40))
+@settings(max_examples=60, deadline=None)
+def test_heuristics_between_optimum_and_worst(seq):
+    variables = list(seq.variables)
+    optimum = optimal_intra_cost(seq, variables)
+    for heuristic in (ofu_order, chen_order, shifts_reduce_order, tsp_order):
+        order = heuristic(seq, variables)
+        cost = shift_cost(
+            seq.restricted_to(variables) if len(variables) > 0 else seq,
+            Placement([order]),
+        )
+        assert cost >= optimum
+
+
+@given(seq=access_sequences(max_vars=10, max_length=50))
+@settings(max_examples=80, deadline=None)
+def test_bound_is_zero_only_without_distinct_transitions(seq):
+    variables = list(seq.variables)
+    lb = intra_lower_bound(seq, variables)
+    codes = seq.codes
+    has_distinct_transition = any(
+        codes[i] != codes[i + 1] for i in range(len(codes) - 1)
+    )
+    if not has_distinct_transition:
+        assert lb == 0
+    else:
+        assert lb >= 1

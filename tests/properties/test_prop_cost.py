@@ -1,0 +1,100 @@
+"""Property-based tests for the analytic cost model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cost import per_dbc_shift_costs, shift_cost
+from repro.core.inter.random_inter import random_partition
+from repro.core.placement import Placement
+
+from strategies import access_sequences, sequences_with_geometry
+
+
+@given(data=sequences_with_geometry(), seed=st.integers(0, 2**16))
+@settings(max_examples=120, deadline=None)
+def test_cost_nonnegative_and_bounded(data, seed):
+    """0 <= cost <= (|S|-1) * (max DBC fill - 1)."""
+    seq, q, cap = data
+    placement = Placement(random_partition(seq, q, cap, seed))
+    cost = shift_cost(seq, placement)
+    assert cost >= 0
+    max_fill = max((len(d) for d in placement.dbc_lists()), default=1)
+    assert cost <= max(len(seq) - 1, 0) * max(max_fill - 1, 0)
+
+
+@given(data=sequences_with_geometry(), seed=st.integers(0, 2**16))
+@settings(max_examples=120, deadline=None)
+def test_total_is_sum_of_per_dbc(data, seed):
+    seq, q, cap = data
+    placement = Placement(random_partition(seq, q, cap, seed))
+    assert shift_cost(seq, placement) == sum(per_dbc_shift_costs(seq, placement))
+
+
+@given(data=sequences_with_geometry(), seed=st.integers(0, 2**16))
+@settings(max_examples=100, deadline=None)
+def test_dbc_permutation_invariance(data, seed):
+    """Shuffling whole DBCs (inter order) never changes the cost."""
+    seq, q, cap = data
+    lists = random_partition(seq, q, cap, seed)
+    base = shift_cost(seq, Placement(lists))
+    assert shift_cost(seq, Placement(list(reversed(lists)))) == base
+
+
+@given(data=sequences_with_geometry(), seed=st.integers(0, 2**16))
+@settings(max_examples=100, deadline=None)
+def test_intra_reversal_invariance(data, seed):
+    """Reversing the layout within every DBC preserves all distances."""
+    seq, q, cap = data
+    lists = random_partition(seq, q, cap, seed)
+    base = shift_cost(seq, Placement(lists))
+    reversed_lists = [list(reversed(d)) for d in lists]
+    assert shift_cost(seq, Placement(reversed_lists)) == base
+
+
+@given(data=sequences_with_geometry(), seed=st.integers(0, 2**16))
+@settings(max_examples=80, deadline=None)
+def test_isolating_a_variable_never_increases_cost(data, seed):
+    """Moving one variable into a fresh DBC can only shed shifts.
+
+    Distances on a line obey the triangle inequality, so stitching the
+    remaining subsequence together never costs more than the detour did.
+    """
+    seq, q, cap = data
+    lists = random_partition(seq, q, cap, seed)
+    placement = Placement(lists)
+    before = shift_cost(seq, placement)
+    donor = next((i for i, d in enumerate(lists) if len(d) >= 2), None)
+    if donor is None:
+        return
+    moved = lists[donor][0]
+    new_lists = [
+        [v for v in d if v != moved] for d in lists
+    ] + [[moved]]
+    after = shift_cost(seq, Placement(new_lists))
+    assert after <= before
+
+
+@given(seq=access_sequences(max_vars=6, max_length=40),
+       ports=st.integers(1, 4))
+@settings(max_examples=80, deadline=None)
+def test_multi_port_never_worse_than_single(seq, ports):
+    placement = Placement([list(seq.variables)])
+    domains = max(seq.num_variables, ports)
+    multi = shift_cost(seq, placement, ports=ports, domains=domains)
+    single = shift_cost(seq, placement, ports=1)
+    assert multi <= single
+
+
+@given(seq=access_sequences(max_length=40))
+@settings(max_examples=80, deadline=None)
+def test_duplicating_sequence_at_most_doubles_plus_link(seq):
+    """Cost is subadditive over concatenation (one linking hop at most...
+    bounded by the max distance within a DBC)."""
+    placement = Placement([list(seq.variables)])
+    once = shift_cost(seq, placement)
+    from repro.trace.sequence import AccessSequence
+    doubled = AccessSequence(
+        list(seq.accesses) + list(seq.accesses), variables=seq.variables
+    )
+    twice = shift_cost(doubled, placement)
+    assert twice <= 2 * once + max(seq.num_variables - 1, 0)

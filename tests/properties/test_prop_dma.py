@@ -1,0 +1,90 @@
+"""Property-based tests for Algorithm 1 and the other distributors."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.inter.afd import afd_partition
+from repro.core.inter.dma import dma_partition, dma_split
+from repro.core.inter.multiset import extract_disjoint_sets, multiset_dma_partition
+from repro.trace.liveness import Liveness
+
+from strategies import access_sequences, sequences_with_geometry
+
+
+@given(seq=access_sequences())
+@settings(max_examples=150, deadline=None)
+def test_dma_split_partitions_universe(seq):
+    split = dma_split(seq)
+    assert sorted(split.vdj + split.vndj) == sorted(seq.variables)
+
+
+@given(seq=access_sequences())
+@settings(max_examples=150, deadline=None)
+def test_vdj_pairwise_disjoint(seq):
+    """The invariant that makes the disjoint DBC cheap (Sec. III-B)."""
+    split = dma_split(seq)
+    live = Liveness(seq)
+    assert live.pairwise_disjoint(list(split.vdj))
+
+
+@given(seq=access_sequences())
+@settings(max_examples=100, deadline=None)
+def test_vdj_ordered_by_first_occurrence(seq):
+    split = dma_split(seq)
+    live = Liveness(seq)
+    firsts = [live.first(v) for v in split.vdj]
+    assert firsts == sorted(firsts)
+
+
+@given(seq=access_sequences())
+@settings(max_examples=100, deadline=None)
+def test_vdj_frequency_sum_consistent(seq):
+    split = dma_split(seq)
+    assert split.disjoint_frequency_sum == sum(
+        seq.frequency(v) for v in split.vdj
+    )
+
+
+@given(data=sequences_with_geometry(), guard=st.booleans())
+@settings(max_examples=150, deadline=None)
+def test_dma_partition_is_valid(data, guard):
+    seq, q, cap = data
+    dbcs, k = dma_partition(seq, q, cap, fairness_guard=guard)
+    assert len(dbcs) == q
+    assert 0 <= k <= q
+    assert all(len(d) <= cap for d in dbcs)
+    placed = sorted(v for d in dbcs for v in d)
+    assert placed == sorted(seq.variables)
+
+
+@given(data=sequences_with_geometry())
+@settings(max_examples=100, deadline=None)
+def test_afd_partition_is_valid(data):
+    seq, q, cap = data
+    dbcs = afd_partition(seq, q, cap)
+    assert all(len(d) <= cap for d in dbcs)
+    assert sorted(v for d in dbcs for v in d) == sorted(seq.variables)
+
+
+@given(data=sequences_with_geometry())
+@settings(max_examples=100, deadline=None)
+def test_multiset_partition_is_valid(data):
+    seq, q, cap = data
+    dbcs, used = multiset_dma_partition(seq, q, cap)
+    assert 0 <= used <= q
+    assert all(len(d) <= cap for d in dbcs)
+    assert sorted(v for d in dbcs for v in d) == sorted(seq.variables)
+
+
+@given(seq=access_sequences())
+@settings(max_examples=100, deadline=None)
+def test_multiset_chains_disjoint_and_exclusive(seq):
+    chains, leftovers = extract_disjoint_sets(seq)
+    live = Liveness(seq)
+    flat = []
+    for chain in chains:
+        assert len(chain) >= 2
+        assert live.pairwise_disjoint(chain)
+        flat.extend(chain)
+    flat.extend(leftovers)
+    assert sorted(flat) == sorted(seq.variables)

@@ -1,0 +1,61 @@
+"""Property-based tests for the GA's genetic operators.
+
+Sec. III-C claims the operators keep individuals valid and can reach any
+assignment; validity is exactly checkable, so hypothesis hammers it.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ga import GAConfig, GeneticPlacer
+
+from strategies import sequences_with_geometry
+
+
+def _placer(seq, q, cap, seed):
+    cfg = GAConfig(mu=4, lam=4, generations=1)
+    return GeneticPlacer(seq, q, cap, cfg, rng=seed)
+
+
+@given(data=sequences_with_geometry(), seed=st.integers(0, 2**16))
+@settings(max_examples=100, deadline=None)
+def test_crossover_preserves_validity(data, seed):
+    seq, q, cap = data
+    placer = _placer(seq, q, cap, seed)
+    a = placer.random_individual()
+    b = placer.random_individual()
+    for child in placer.crossover(a, b):
+        placer.validate_individual(child)
+
+
+@given(data=sequences_with_geometry(), seed=st.integers(0, 2**16),
+       rounds=st.integers(1, 12))
+@settings(max_examples=100, deadline=None)
+def test_mutation_chain_preserves_validity(data, seed, rounds):
+    seq, q, cap = data
+    placer = _placer(seq, q, cap, seed)
+    ind = placer.random_individual()
+    for _ in range(rounds):
+        ind = placer.mutate(ind)
+        placer.validate_individual(ind)
+
+
+@given(data=sequences_with_geometry(), seed=st.integers(0, 2**16))
+@settings(max_examples=60, deadline=None)
+def test_fitness_matches_placement_cost(data, seed):
+    from repro.core.cost import shift_cost
+    from repro.core.placement import Placement
+    seq, q, cap = data
+    placer = _placer(seq, q, cap, seed)
+    ind = placer.random_individual()
+    names = [[seq.variables[v] for v in dbc] for dbc in ind]
+    assert placer.fitness(ind) == shift_cost(seq, Placement(names))
+
+
+@given(data=sequences_with_geometry(), seed=st.integers(0, 2**16))
+@settings(max_examples=30, deadline=None)
+def test_short_run_returns_valid_best(data, seed):
+    seq, q, cap = data
+    result = _placer(seq, q, cap, seed).run()
+    result.placement.validate_for(seq, num_dbcs=q, capacity=cap)
+    assert result.cost >= 0

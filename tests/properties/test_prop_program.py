@@ -1,0 +1,64 @@
+"""Property-based tests for sequence fusion and whole-program placement."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cost import shift_cost
+from repro.core.program import evaluate_program, fuse_sequences, place_program
+from repro.trace.liveness import Liveness
+
+from strategies import access_sequences
+
+
+@st.composite
+def sequence_bags(draw, max_sequences: int = 4):
+    count = draw(st.integers(min_value=1, max_value=max_sequences))
+    return [
+        draw(access_sequences(max_vars=6, min_length=1, max_length=25))
+        for _ in range(count)
+    ]
+
+
+@given(bag=sequence_bags())
+@settings(max_examples=80, deadline=None)
+def test_fusion_preserves_length_and_universe(bag):
+    fused = fuse_sequences(bag)
+    assert len(fused) == sum(len(s) for s in bag)
+    assert set(fused.variables) == {v for s in bag for v in s.variables}
+
+
+@given(bag=sequence_bags())
+@settings(max_examples=60, deadline=None)
+def test_fusion_preserves_per_sequence_order(bag):
+    fused = fuse_sequences(bag)
+    flattened = [a for s in bag for a in s.accesses]
+    assert list(fused.accesses) == flattened
+
+
+@given(bag=sequence_bags())
+@settings(max_examples=50, deadline=None)
+def test_program_placement_is_valid_and_scored(bag):
+    union = {v for s in bag for v in s.variables}
+    capacity = max(4, len(union))
+    result = place_program(bag, 2, capacity, policy="DMA-OFU")
+    costs = evaluate_program(result.placement, bag)
+    assert len(costs) == len(bag)
+    assert result.total_cost == sum(costs.values())
+    for seq in bag:
+        assert shift_cost(seq, result.placement) >= 0
+
+
+@given(seq_a=access_sequences(max_vars=4, min_length=1, max_length=20),
+       seq_b=access_sequences(max_vars=4, min_length=1, max_length=20))
+@settings(max_examples=60, deadline=None)
+def test_fused_liveness_spans_components(seq_a, seq_b):
+    """A variable used in both halves must span the fusion boundary."""
+    fused = fuse_sequences([seq_a, seq_b])
+    live = Liveness(fused)
+    shared = set(seq_a.variables) & set(seq_b.variables)
+    for v in shared:
+        in_a = v in set(seq_a.accesses)
+        in_b = v in set(seq_b.accesses)
+        if in_a and in_b:
+            assert live.first(v) <= len(seq_a)
+            assert live.last(v) > len(seq_a)

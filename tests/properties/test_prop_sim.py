@@ -1,0 +1,76 @@
+"""Property-based agreement between the simulator and the analytic model.
+
+The heuristics optimize the analytic cost; the simulator measures the
+device. If the two ever disagree on shift counts the evaluation is
+meaningless, so this is the library's most load-bearing invariant.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cost import shift_cost
+from repro.core.inter.random_inter import random_partition
+from repro.core.placement import Placement
+from repro.rtm.geometry import RTMConfig
+from repro.rtm.sim import simulate
+from repro.rtm.timing import destiny_params
+from repro.trace.trace import MemoryTrace
+
+from strategies import access_sequences
+
+
+@given(
+    seq=access_sequences(max_vars=8, min_length=1, max_length=50),
+    q=st.integers(1, 4),
+    seed=st.integers(0, 2**16),
+    ports=st.integers(1, 3),
+)
+@settings(max_examples=100, deadline=None)
+def test_simulator_matches_analytic_model(seq, q, seed, ports):
+    domains = 16
+    config = RTMConfig(dbcs=q, domains_per_track=domains,
+                       ports_per_track=ports)
+    lists = random_partition(seq, q, domains, seed)
+    placement = Placement(lists)
+    trace = MemoryTrace(seq)
+    report = simulate(trace, placement, config, params=destiny_params(q))
+    analytic = shift_cost(seq, placement, ports=ports, domains=domains)
+    assert report.shifts == analytic
+
+
+@given(
+    seq=access_sequences(max_vars=8, min_length=1, max_length=40),
+    seed=st.integers(0, 2**16),
+)
+@settings(max_examples=60, deadline=None)
+def test_cold_start_never_cheaper(seq, seed):
+    config = RTMConfig(dbcs=2, domains_per_track=16)
+    placement = Placement(random_partition(seq, 2, 16, seed))
+    trace = MemoryTrace(seq)
+    warm = simulate(trace, placement, config, params=destiny_params(2))
+    cold = simulate(trace, placement, config, params=destiny_params(2),
+                    warm_start=False)
+    assert cold.shifts >= warm.shifts
+
+
+@given(
+    seq=access_sequences(max_vars=8, min_length=1, max_length=40),
+    seed=st.integers(0, 2**16),
+)
+@settings(max_examples=60, deadline=None)
+def test_energy_accounting_consistent(seq, seed):
+    config = RTMConfig(dbcs=2, domains_per_track=16)
+    p = destiny_params(2)
+    placement = Placement(random_partition(seq, 2, 16, seed))
+    trace = MemoryTrace(seq)
+    r = simulate(trace, placement, config, params=p)
+    assert r.reads + r.writes == len(trace)
+    assert abs(r.total_energy_pj - (
+        r.leakage_energy_pj + r.rw_energy_pj + r.shift_energy_pj
+    )) < 1e-9
+    expected_runtime = (
+        r.reads * p.read_latency_ns
+        + r.writes * p.write_latency_ns
+        + r.shifts * p.shift_latency_ns
+    )
+    assert abs(r.runtime_ns - expected_runtime) < 1e-9

@@ -1,0 +1,68 @@
+"""Property-based tests for the trace substrate (liveness, IO, graphs)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace.graph import AccessGraph
+from repro.trace.io import parse_traces, render_traces
+from repro.trace.liveness import NEVER, Liveness
+from repro.trace.trace import MemoryTrace
+
+from strategies import access_sequences
+
+
+@given(seq=access_sequences())
+@settings(max_examples=150, deadline=None)
+def test_liveness_bounds(seq):
+    live = Liveness(seq)
+    live.validate()
+    for v in seq.variables:
+        f, l = live.first(v), live.last(v)
+        if live.is_accessed(v):
+            assert 1 <= f <= l <= len(seq)
+            assert seq[f - 1] == v and seq[l - 1] == v
+        else:
+            assert f == l == NEVER
+
+
+@given(seq=access_sequences())
+@settings(max_examples=100, deadline=None)
+def test_disjointness_symmetric_and_irreflexive_for_live_vars(seq):
+    live = Liveness(seq)
+    for u in seq.variables:
+        for v in seq.variables:
+            assert live.disjoint(u, v) == live.disjoint(v, u)
+        if live.frequency(u) > 0:
+            assert not live.disjoint(u, u)
+
+
+@given(seq=access_sequences())
+@settings(max_examples=100, deadline=None)
+def test_graph_weight_conservation(seq):
+    g = AccessGraph(seq)
+    assert g.total_weight() + g.self_transitions == max(len(seq) - 1, 0)
+
+
+@given(seq=access_sequences())
+@settings(max_examples=100, deadline=None)
+def test_graph_degree_is_sum_of_incident_weights(seq):
+    g = AccessGraph(seq)
+    for v in seq.variables:
+        assert g.weighted_degree(v) == sum(g.neighbors(v).values())
+
+
+@given(seq=access_sequences(min_length=1), ratio=st.floats(0.0, 1.0))
+@settings(max_examples=80, deadline=None)
+def test_io_roundtrip(seq, ratio):
+    trace = MemoryTrace.with_write_ratio(seq, ratio, rng=0)
+    (back,) = parse_traces(render_traces([trace]))
+    assert back == trace
+
+
+@given(seq=access_sequences(min_length=1))
+@settings(max_examples=80, deadline=None)
+def test_restriction_preserves_access_order(seq):
+    subset = list(seq.variables)[: max(1, seq.num_variables // 2)]
+    local = seq.restricted_to(subset)
+    expected = [a for a in seq.accesses if a in set(subset)]
+    assert list(local.accesses) == expected

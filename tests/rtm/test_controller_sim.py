@@ -1,0 +1,174 @@
+"""Unit tests for the controller, simulator and reports."""
+
+import pytest
+
+from repro.core.placement import Placement
+from repro.core.cost import shift_cost
+from repro.errors import PlacementError, SimulationError
+from repro.rtm.controller import RTMController
+from repro.rtm.geometry import RTMConfig, iso_capacity_sweep
+from repro.rtm.report import SimReport
+from repro.rtm.sim import simulate, simulate_program
+from repro.rtm.timing import destiny_params
+from repro.trace.trace import MemoryTrace
+
+
+@pytest.fixture
+def config():
+    return RTMConfig(dbcs=2, tracks_per_dbc=32, domains_per_track=512)
+
+
+@pytest.fixture
+def fig3_placement(fig3_sequence):
+    return Placement([("a", "g", "b", "d", "h"), ("e", "i", "c", "f")])
+
+
+class TestController:
+    def test_fig3_afd_costs_39_shifts(self, config, fig3_trace, fig3_placement):
+        report = simulate(fig3_trace, fig3_placement, config)
+        assert report.shifts == 39
+        assert report.per_dbc_shifts == (24, 15)
+
+    def test_location_mapping(self, config, fig3_placement):
+        ctrl = RTMController(config, fig3_placement)
+        assert ctrl.location_of("a") == (0, 0)
+        assert ctrl.location_of("f") == (1, 3)
+        with pytest.raises(SimulationError):
+            ctrl.location_of("zz")
+
+    def test_too_many_dbcs_rejected(self, config, fig3_sequence):
+        placement = Placement([("a",), ("b",), ("c",)] +
+                              [tuple()] * 0 + [("d", "e", "f", "g", "h", "i")])
+        with pytest.raises(PlacementError):
+            RTMController(config, placement)
+
+    def test_overfull_dbc_rejected(self, fig3_sequence):
+        tiny = RTMConfig(dbcs=2, domains_per_track=4)
+        placement = Placement([tuple("abcde"), tuple("fghi")])
+        with pytest.raises(PlacementError):
+            RTMController(tiny, placement)
+
+    def test_duplicate_variable_rejected(self, config):
+        class FakePlacement:
+            def dbc_lists(self):
+                return [("a",), ("a",)]
+
+        with pytest.raises(PlacementError):
+            RTMController(config, FakePlacement())
+
+    def test_reset_between_traces(self, config, fig3_trace, fig3_placement):
+        ctrl = RTMController(config, fig3_placement)
+        first = ctrl.execute(fig3_trace)
+        ctrl.reset()
+        second = ctrl.execute(fig3_trace)
+        assert first.shifts == second.shifts
+
+
+class TestSimulatorAgreement:
+    @pytest.mark.parametrize("dbcs", [2, 4, 8, 16])
+    def test_sim_matches_analytic_cost(self, dbcs, small_sequence):
+        sweep = {c.dbcs: c for c in iso_capacity_sweep()}
+        config = sweep[dbcs]
+        from repro.core.policies import get_policy
+        placement = get_policy("DMA-SR").place(
+            small_sequence, dbcs, config.locations_per_dbc
+        )
+        trace = MemoryTrace(small_sequence)
+        report = simulate(trace, placement, config)
+        assert report.shifts == shift_cost(small_sequence, placement)
+
+    def test_multiport_sim_matches_analytic(self, small_sequence):
+        config = RTMConfig(dbcs=2, domains_per_track=64, ports_per_track=4)
+        from repro.core.policies import get_policy
+        placement = get_policy("DMA-SR").place(small_sequence, 2, 64)
+        trace = MemoryTrace(small_sequence)
+        report = simulate(trace, placement, config)
+        assert report.shifts == shift_cost(
+            small_sequence, placement, ports=4, domains=64
+        )
+
+    def test_cold_start_not_cheaper(self, config, fig3_trace, fig3_placement):
+        warm = simulate(fig3_trace, fig3_placement, config)
+        cold = simulate(fig3_trace, fig3_placement, config, warm_start=False)
+        assert cold.shifts >= warm.shifts
+
+
+class TestEnergyAccounting:
+    def test_energy_components(self, config, fig3_trace, fig3_placement):
+        p = destiny_params(2)
+        report = simulate(fig3_trace, fig3_placement, config)
+        assert report.read_energy_pj == pytest.approx(
+            report.reads * p.read_energy_pj
+        )
+        assert report.write_energy_pj == pytest.approx(
+            report.writes * p.write_energy_pj
+        )
+        assert report.shift_energy_pj == pytest.approx(39 * p.shift_energy_pj)
+        assert report.leakage_energy_pj == pytest.approx(
+            p.leakage_mw * report.runtime_ns
+        )
+
+    def test_runtime_composition(self, config, fig3_trace, fig3_placement):
+        p = destiny_params(2)
+        report = simulate(fig3_trace, fig3_placement, config)
+        expected = (
+            report.reads * p.read_latency_ns
+            + report.writes * p.write_latency_ns
+            + report.shifts * p.shift_latency_ns
+        )
+        assert report.runtime_ns == pytest.approx(expected)
+
+    def test_total_energy_is_breakdown_sum(self, config, fig3_trace, fig3_placement):
+        report = simulate(fig3_trace, fig3_placement, config)
+        assert report.total_energy_pj == pytest.approx(
+            sum(report.energy_breakdown().values())
+        )
+
+    def test_fewer_shifts_means_less_energy(self, config, fig3_trace, fig3_sequence):
+        afd = Placement([("a", "g", "b", "d", "h"), ("e", "i", "c", "f")])
+        dma = Placement([("b", "c", "d", "e", "h"), ("a", "g", "i", "f")])
+        r_afd = simulate(fig3_trace, afd, config)
+        r_dma = simulate(fig3_trace, dma, config)
+        assert r_dma.shifts < r_afd.shifts
+        assert r_dma.total_energy_pj < r_afd.total_energy_pj
+        assert r_dma.runtime_ns < r_afd.runtime_ns
+
+
+class TestSimReport:
+    def test_addition(self, config, fig3_trace, fig3_placement):
+        r = simulate(fig3_trace, fig3_placement, config)
+        combined = r + r
+        assert combined.shifts == 2 * r.shifts
+        assert combined.accesses == 2 * r.accesses
+        assert combined.total_energy_pj == pytest.approx(2 * r.total_energy_pj)
+        assert combined.area_mm2 == r.area_mm2
+        assert combined.per_dbc_shifts == (48, 30)
+
+    def test_sum_builtin(self, config, fig3_trace, fig3_placement):
+        r = simulate(fig3_trace, fig3_placement, config)
+        total = sum([r, r, r])
+        assert total.shifts == 3 * r.shifts
+
+    def test_mismatched_dbcs_rejected(self):
+        with pytest.raises(ValueError):
+            SimReport(dbcs=2) + SimReport(dbcs=4)
+
+    def test_shifts_per_access(self):
+        r = SimReport(dbcs=2, accesses=10, shifts=25)
+        assert r.shifts_per_access == 2.5
+        assert SimReport(dbcs=2).shifts_per_access == 0.0
+
+    def test_summary_text(self, config, fig3_trace, fig3_placement):
+        r = simulate(fig3_trace, fig3_placement, config)
+        assert "39 shifts" in r.summary()
+
+    def test_simulate_program_sums(self, config, fig3_trace, fig3_placement):
+        single = simulate(fig3_trace, fig3_placement, config)
+        double = simulate_program(
+            [(fig3_trace, fig3_placement), (fig3_trace, fig3_placement)], config
+        )
+        assert double.shifts == 2 * single.shifts
+
+    def test_simulate_program_empty_rejected(self, config):
+        with pytest.raises(ValueError):
+            simulate_program([], config)

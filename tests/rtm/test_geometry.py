@@ -1,0 +1,82 @@
+"""Unit tests for repro.rtm.geometry."""
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.rtm.geometry import RTMConfig, TABLE1_DBC_COUNTS, iso_capacity_sweep
+
+
+class TestRTMConfig:
+    def test_defaults(self):
+        cfg = RTMConfig(dbcs=4)
+        assert cfg.tracks_per_dbc == 32
+        assert cfg.ports_per_track == 1
+
+    def test_locations_per_dbc_is_domains(self):
+        cfg = RTMConfig(dbcs=4, domains_per_track=256)
+        assert cfg.locations_per_dbc == 256
+        assert cfg.total_locations == 1024
+
+    def test_capacity_bytes(self):
+        cfg = RTMConfig(dbcs=2, tracks_per_dbc=32, domains_per_track=512)
+        assert cfg.capacity_bytes == 4096
+
+    def test_word_bytes(self):
+        assert RTMConfig(dbcs=2, tracks_per_dbc=32).word_bytes == 4
+        assert RTMConfig(dbcs=2, tracks_per_dbc=12).word_bytes == 0
+
+    def test_max_shift_distance(self):
+        assert RTMConfig(dbcs=2, domains_per_track=64).max_shift_distance == 63
+
+    def test_with_ports(self):
+        cfg = RTMConfig(dbcs=2).with_ports(4)
+        assert cfg.ports_per_track == 4
+        assert cfg.dbcs == 2
+
+    def test_describe_mentions_geometry(self):
+        text = RTMConfig(dbcs=8, domains_per_track=128).describe()
+        assert "8 DBCs" in text and "128 domains" in text
+
+    @pytest.mark.parametrize("field,value", [
+        ("dbcs", 0), ("tracks_per_dbc", 0), ("domains_per_track", -1),
+        ("ports_per_track", 0), ("banks", 0), ("subarrays", 0),
+    ])
+    def test_positive_int_validation(self, field, value):
+        kwargs = {"dbcs": 2, field: value}
+        with pytest.raises(GeometryError):
+            RTMConfig(**kwargs)
+
+    def test_more_ports_than_domains_rejected(self):
+        with pytest.raises(GeometryError):
+            RTMConfig(dbcs=2, domains_per_track=4, ports_per_track=5)
+
+    def test_non_int_rejected(self):
+        with pytest.raises(GeometryError):
+            RTMConfig(dbcs=2.5)  # type: ignore[arg-type]
+
+
+class TestIsoCapacitySweep:
+    def test_table1_sweep(self):
+        configs = iso_capacity_sweep()
+        assert [c.dbcs for c in configs] == list(TABLE1_DBC_COUNTS)
+        assert [c.domains_per_track for c in configs] == [512, 256, 128, 64]
+
+    def test_sweep_preserves_capacity(self):
+        for cfg in iso_capacity_sweep():
+            assert cfg.capacity_bytes == 4096
+
+    def test_custom_capacity(self):
+        (cfg,) = iso_capacity_sweep(capacity_bytes=8192, dbc_counts=(4,))
+        assert cfg.domains_per_track == 512
+
+    def test_indivisible_capacity_rejected(self):
+        with pytest.raises(GeometryError):
+            iso_capacity_sweep(capacity_bytes=1000, dbc_counts=(3,))
+
+    def test_too_small_capacity_rejected(self):
+        with pytest.raises(GeometryError):
+            iso_capacity_sweep(capacity_bytes=4, dbc_counts=(2,))
+
+    def test_ports_forwarded(self):
+        for cfg in iso_capacity_sweep(ports_per_track=2):
+            assert cfg.ports_per_track == 2

@@ -1,0 +1,101 @@
+"""Unit tests for the Table-I-calibrated parameter model."""
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.rtm.geometry import RTMConfig
+from repro.rtm.timing import destiny_params, params_for, table1_rows
+
+from tests.paperdata import TABLE1
+
+FIELDS = (
+    "leakage_mw", "write_energy_pj", "read_energy_pj", "shift_energy_pj",
+    "read_latency_ns", "write_latency_ns", "shift_latency_ns", "area_mm2",
+)
+
+
+class TestAnchors:
+    @pytest.mark.parametrize("dbcs", sorted(TABLE1))
+    def test_table1_reproduced_exactly(self, dbcs):
+        p = destiny_params(dbcs)
+        for field, expected in zip(FIELDS, TABLE1[dbcs]):
+            assert getattr(p, field) == pytest.approx(expected), field
+
+    def test_domains_per_dbc_column(self):
+        assert [destiny_params(q).domains_per_dbc for q in (2, 4, 8, 16)] == \
+            [512, 256, 128, 64]
+
+    def test_validate_accepts_anchors(self):
+        for q in TABLE1:
+            destiny_params(q).validate()
+
+
+class TestInterpolation:
+    def test_interpolated_within_anchor_bounds(self):
+        p = destiny_params(6)
+        lo, hi = destiny_params(4), destiny_params(8)
+        for field in FIELDS:
+            a, b = sorted((getattr(lo, field), getattr(hi, field)))
+            assert a <= getattr(p, field) <= b, field
+
+    def test_monotone_leakage(self):
+        values = [destiny_params(q).leakage_mw for q in (2, 3, 4, 6, 8, 12, 16)]
+        assert values == sorted(values)
+
+    def test_monotone_area(self):
+        values = [destiny_params(q).area_mm2 for q in (2, 3, 4, 6, 8, 12, 16)]
+        assert values == sorted(values)
+
+    def test_extrapolation_beyond_16(self):
+        p = destiny_params(32)
+        assert p.leakage_mw > destiny_params(16).leakage_mw
+        p.validate()
+
+    def test_extrapolation_below_2(self):
+        p = destiny_params(1)
+        assert p.leakage_mw < destiny_params(2).leakage_mw
+
+    def test_interpolated_domains(self):
+        assert destiny_params(4).domains_per_dbc == 256
+        assert destiny_params(8).domains_per_dbc == 128
+
+
+class TestValidation:
+    def test_non_table_geometry_rejected(self):
+        with pytest.raises(GeometryError):
+            destiny_params(4, capacity_bytes=8192)
+        with pytest.raises(GeometryError):
+            destiny_params(4, tracks_per_dbc=16)
+
+    def test_bad_dbcs_rejected(self):
+        with pytest.raises(GeometryError):
+            destiny_params(0)
+
+
+class TestParamsFor:
+    def test_table_geometry_exact(self):
+        cfg = RTMConfig(dbcs=4, domains_per_track=256)
+        assert params_for(cfg).leakage_mw == pytest.approx(4.33)
+
+    def test_non_table_geometry_falls_back_by_dbc_count(self):
+        cfg = RTMConfig(dbcs=4, domains_per_track=64)  # 1 KiB
+        assert params_for(cfg).leakage_mw == pytest.approx(4.33)
+
+    def test_strict_rejects_non_table_geometry(self):
+        cfg = RTMConfig(dbcs=4, domains_per_track=64)
+        with pytest.raises(GeometryError):
+            params_for(cfg, strict=True)
+
+
+class TestTable1Rows:
+    def test_rows_cover_all_parameters(self):
+        rows = table1_rows()
+        labels = [label for label, _ in rows]
+        assert "Leakage power [mW]" in labels
+        assert "Area [mm2]" in labels
+        assert len(rows) == 9
+
+    def test_row_values_match_anchors(self):
+        rows = dict(table1_rows())
+        assert rows["Shift energy [pJ]"] == pytest.approx([2.18, 2.03, 1.97, 1.86])
+        assert rows["Number of domains in a DBC"] == [512, 256, 128, 64]

@@ -1,0 +1,79 @@
+"""Unit tests for the wear/endurance accounting."""
+
+import pytest
+
+from repro.core.placement import Placement
+from repro.errors import SimulationError
+from repro.rtm.report import SimReport
+from repro.rtm.wear import rotate_placement, wear_report
+
+
+def report_with(per_dbc):
+    return SimReport(
+        dbcs=len(per_dbc), shifts=sum(per_dbc),
+        per_dbc_shifts=tuple(per_dbc),
+    )
+
+
+class TestWearReport:
+    def test_level_distribution(self):
+        w = wear_report(report_with([10, 10, 10, 10]))
+        assert w.imbalance == pytest.approx(1.0)
+        assert w.coefficient_of_variation == pytest.approx(0.0)
+        assert w.gini == pytest.approx(0.0)
+
+    def test_concentrated_distribution(self):
+        w = wear_report(report_with([40, 0, 0, 0]))
+        assert w.imbalance == pytest.approx(4.0)
+        assert w.gini > 0.7
+        assert w.max_shifts == 40
+
+    def test_zero_traffic(self):
+        w = wear_report(report_with([0, 0]))
+        assert w.total_shifts == 0
+        assert w.imbalance == 1.0
+        assert w.gini == 0.0
+
+    def test_monotone_gini(self):
+        even = wear_report(report_with([5, 5, 5, 5])).gini
+        skew = wear_report(report_with([2, 3, 7, 8])).gini
+        extreme = wear_report(report_with([0, 0, 0, 20])).gini
+        assert even < skew < extreme
+
+    def test_missing_per_dbc_counts_rejected(self):
+        with pytest.raises(SimulationError):
+            wear_report(SimReport(dbcs=2, shifts=5))
+
+    def test_lifetime_fraction(self):
+        w = wear_report(report_with([30, 10]))
+        assert w.lifetime_fraction(100) == pytest.approx(0.7)
+        assert w.lifetime_fraction(20) == 0.0
+        with pytest.raises(SimulationError):
+            w.lifetime_fraction(0)
+
+
+class TestRotation:
+    def test_rotation_preserves_contents_and_cost(self, fig3_sequence):
+        from repro.core.cost import shift_cost
+        placement = Placement([("a", "g", "b", "d", "h"), ("e", "i", "c", "f")])
+        rotated = rotate_placement(placement, 1)
+        assert rotated.dbc_lists()[0] == ("e", "i", "c", "f")
+        assert shift_cost(fig3_sequence, rotated) == \
+            shift_cost(fig3_sequence, placement)
+
+    def test_full_cycle_identity(self):
+        placement = Placement([("a",), ("b",), ("c",)])
+        assert rotate_placement(placement, 3) == placement
+
+    def test_rotation_levels_wear_across_runs(self, fig3_trace, fig3_sequence):
+        """Alternating the rotation between runs spreads the hot DBC."""
+        from repro.rtm.geometry import RTMConfig
+        from repro.rtm.sim import simulate
+        config = RTMConfig(dbcs=2, domains_per_track=512)
+        placement = Placement([("a", "g", "b", "d", "h"), ("e", "i", "c", "f")])
+        r1 = simulate(fig3_trace, placement, config)
+        r2 = simulate(fig3_trace, rotate_placement(placement, 1), config)
+        combined = r1 + r2
+        w_rotated = wear_report(combined)
+        w_static = wear_report(r1 + r1)
+        assert w_rotated.imbalance <= w_static.imbalance

@@ -1,0 +1,67 @@
+"""Unit tests for the command-line entry points."""
+
+import pytest
+
+from repro.cli import main_experiment, main_place, main_sim, main_suite
+from repro.trace.io import write_traces
+from repro.trace.trace import MemoryTrace
+
+
+@pytest.fixture
+def trace_file(tmp_path, fig3_sequence):
+    path = tmp_path / "fig3.txt"
+    write_traces(path, [MemoryTrace(fig3_sequence)])
+    return str(path)
+
+
+class TestPlace:
+    def test_prints_costs(self, trace_file, capsys):
+        assert main_place([trace_file, "--dbcs", "2", "--domains", "512"]) == 0
+        out = capsys.readouterr().out
+        assert "total shifts:" in out
+        assert "fig3" in out
+
+    def test_policy_selection(self, trace_file, capsys):
+        main_place([trace_file, "--policy", "AFD", "--dbcs", "2",
+                    "--domains", "512"])
+        out = capsys.readouterr().out
+        assert "total shifts: 39" in out
+
+
+class TestSim:
+    def test_prints_report(self, trace_file, capsys):
+        assert main_sim([trace_file, "--dbcs", "2", "--domains", "512"]) == 0
+        out = capsys.readouterr().out
+        assert "shifts" in out and "pJ" in out
+
+    def test_cold_start_flag(self, trace_file, capsys):
+        main_sim([trace_file, "--dbcs", "2", "--domains", "512",
+                  "--cold-start"])
+        assert "shifts" in capsys.readouterr().out
+
+
+class TestSuite:
+    def test_lists_programs(self, capsys):
+        assert main_suite(["--scale", "0.12", "adpcm", "dct"]) == 0
+        out = capsys.readouterr().out
+        assert "adpcm" in out and "dct" in out
+
+
+class TestExperiment:
+    def test_table1(self, capsys):
+        assert main_experiment(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "8.94" in out and "0.0159" in out
+
+    def test_fig3(self, capsys):
+        assert main_experiment(["fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "39" in out
+
+    def test_save(self, tmp_path, capsys):
+        assert main_experiment(["table1", "--save", str(tmp_path)]) == 0
+        assert (tmp_path / "table1.txt").exists()
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main_experiment(["fig99"])

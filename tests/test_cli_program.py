@@ -1,0 +1,34 @@
+"""CLI tests for the whole-program placement flag."""
+
+import pytest
+
+from repro.cli import main_place
+from repro.trace.io import write_traces
+from repro.trace.sequence import AccessSequence
+from repro.trace.trace import MemoryTrace
+
+
+@pytest.fixture
+def program_file(tmp_path):
+    seqs = [
+        AccessSequence(list("aabga"), variables=["a", "b", "g"], name="p0"),
+        AccessSequence(list("ccgdd"), variables=["c", "d", "g"], name="p1"),
+    ]
+    path = tmp_path / "program.txt"
+    write_traces(path, [MemoryTrace(s) for s in seqs])
+    return str(path)
+
+
+class TestProgramFlag:
+    def test_single_layout_emitted(self, program_file, capsys):
+        assert main_place([program_file, "--program", "--dbcs", "2",
+                           "--domains", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "program layout over 2 sequences" in out
+        assert "p0:" in out and "p1:" in out
+        assert "total shifts:" in out
+
+    def test_per_trace_mode_unchanged(self, program_file, capsys):
+        assert main_place([program_file, "--dbcs", "2", "--domains", "8"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("total shifts:") == 2

@@ -1,0 +1,37 @@
+"""Every shipped example must run to completion (deliverable guard)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "examples must print their findings"
+
+
+def test_expected_examples_present():
+    names = {p.stem for p in EXAMPLES}
+    required = {
+        "quickstart",
+        "dsp_kernel_placement",
+        "design_space_exploration",
+        "custom_policy",
+        "trace_analysis_report",
+        "online_vs_static",
+        "program_layout",
+        "tensor_scratchpad",
+    }
+    assert required <= names, required - names

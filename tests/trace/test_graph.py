@@ -1,0 +1,82 @@
+"""Unit tests for repro.trace.graph.AccessGraph."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.graph import AccessGraph
+from repro.trace.sequence import AccessSequence
+
+
+@pytest.fixture
+def tiny_graph():
+    #  a b a b c c  -> edges: {a,b} w=3, {b,c} w=1; one self transition (c,c)
+    return AccessGraph(AccessSequence(list("ababcc")))
+
+
+class TestWeights:
+    def test_edge_weight_counts_consecutive_pairs(self, tiny_graph):
+        assert tiny_graph.weight("a", "b") == 3
+        assert tiny_graph.weight("b", "c") == 1
+
+    def test_weight_is_symmetric(self, tiny_graph):
+        assert tiny_graph.weight("a", "b") == tiny_graph.weight("b", "a")
+
+    def test_absent_edge_weight_zero(self, tiny_graph):
+        assert tiny_graph.weight("a", "c") == 0
+
+    def test_self_transitions_not_edges(self, tiny_graph):
+        assert tiny_graph.weight("c", "c") == 0
+        assert tiny_graph.self_transitions == 1
+
+    def test_unknown_vertex_raises(self, tiny_graph):
+        with pytest.raises(TraceError):
+            tiny_graph.weight("a", "zz")
+        with pytest.raises(TraceError):
+            tiny_graph.neighbors("zz")
+        with pytest.raises(TraceError):
+            tiny_graph.weighted_degree("zz")
+
+
+class TestStructure:
+    def test_vertices_cover_all_variables(self, fig3_sequence):
+        g = AccessGraph(fig3_sequence)
+        assert g.vertices == fig3_sequence.variables
+
+    def test_edges_yielded_once(self, tiny_graph):
+        edges = list(tiny_graph.edges())
+        assert sorted((u, v) for u, v, _ in edges) == [("a", "b"), ("b", "c")]
+
+    def test_num_edges(self, tiny_graph):
+        assert tiny_graph.num_edges() == 2
+
+    def test_total_weight_plus_self_is_length_minus_one(self, fig3_sequence):
+        g = AccessGraph(fig3_sequence)
+        assert g.total_weight() + g.self_transitions == len(fig3_sequence) - 1
+
+    def test_weighted_degree(self, tiny_graph):
+        assert tiny_graph.weighted_degree("b") == 4
+        assert tiny_graph.weighted_degree("a") == 3
+        assert tiny_graph.weighted_degree("c") == 1
+
+    def test_neighbors_returns_copy(self, tiny_graph):
+        n = tiny_graph.neighbors("a")
+        n["b"] = 999
+        assert tiny_graph.weight("a", "b") == 3
+
+    def test_isolated_vertex(self):
+        g = AccessGraph(AccessSequence(["a"], variables=["a", "lonely"]))
+        assert g.weighted_degree("lonely") == 0
+        assert g.neighbors("lonely") == {}
+
+    def test_empty_sequence_graph(self):
+        g = AccessGraph(AccessSequence([], variables=["a"]))
+        assert g.num_edges() == 0
+        assert g.self_transitions == 0
+
+
+class TestNetworkxExport:
+    def test_to_networkx(self, fig3_sequence):
+        nx = pytest.importorskip("networkx")
+        g = AccessGraph(fig3_sequence).to_networkx()
+        assert g.number_of_nodes() == 9
+        assert g["a"]["b"]["weight"] == AccessGraph(fig3_sequence).weight("a", "b")

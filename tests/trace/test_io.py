@@ -1,0 +1,89 @@
+"""Unit tests for the trace text format (repro.trace.io)."""
+
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.trace.io import parse_traces, read_traces, render_traces, write_traces
+from repro.trace.trace import MemoryTrace
+
+
+SAMPLE = """
+# a comment
+trace demo
+vars a b c
+seq a b a c
+writes 0 3
+end
+"""
+
+
+class TestParse:
+    def test_parse_basic_block(self):
+        traces = parse_traces(SAMPLE)
+        assert len(traces) == 1
+        t = traces[0]
+        assert t.name == "demo"
+        assert t.sequence.accesses == ("a", "b", "a", "c")
+        assert list(t.writes) == [True, False, False, True]
+
+    def test_vars_optional(self):
+        (t,) = parse_traces("trace t\nseq x y x\nend\n")
+        assert t.variables == ("x", "y")
+
+    def test_default_write_rule_when_no_writes_line(self):
+        (t,) = parse_traces("trace t\nseq x y x\nend\n")
+        assert list(t.writes) == [True, True, False]
+
+    def test_multiple_blocks(self):
+        text = "trace a\nseq x\nend\ntrace b\nseq y y\nend\n"
+        traces = parse_traces(text)
+        assert [t.name for t in traces] == ["a", "b"]
+
+    def test_seq_continuation_lines(self):
+        (t,) = parse_traces("trace t\nseq a b\nseq c a\nend\n")
+        assert t.sequence.accesses == ("a", "b", "c", "a")
+
+    def test_comments_and_blanks_ignored(self):
+        (t,) = parse_traces("# hi\n\ntrace t # trailing\nseq a\nend\n")
+        assert t.name == "t"
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize("text,match", [
+        ("seq a\nend\n", "outside"),
+        ("trace t\ntrace u\n", "before previous"),
+        ("trace t\nseq a\n", "not terminated"),
+        ("trace t\nend\n", "empty sequence"),
+        ("trace t\nseq a\nwrites 5\nend\n", "out of range"),
+        ("trace t\nseq a\nwrites x\nend\n", "integers"),
+        ("trace a b\nseq a\nend\n", "one name"),
+        ("bogus a\n", "unknown keyword"),
+    ])
+    def test_malformed_inputs(self, text, match):
+        with pytest.raises(TraceFormatError, match=match):
+            parse_traces(text)
+
+
+class TestRoundtrip:
+    def test_render_parse_roundtrip(self, fig3_trace):
+        text = render_traces([fig3_trace])
+        (back,) = parse_traces(text)
+        assert back == fig3_trace
+
+    def test_roundtrip_preserves_unaccessed_vars(self):
+        t = MemoryTrace.from_accesses(["a"], variables=["a", "ghost"])
+        (back,) = parse_traces(render_traces([t]))
+        assert back.variables == ("a", "ghost")
+
+    def test_file_roundtrip(self, tmp_path, fig3_trace):
+        path = tmp_path / "traces.txt"
+        write_traces(path, [fig3_trace, fig3_trace])
+        traces = read_traces(path)
+        assert traces == [fig3_trace, fig3_trace]
+
+    def test_long_sequences_wrap(self, small_sequence):
+        t = MemoryTrace(small_sequence)
+        text = render_traces([t], wrap=8)
+        assert max(len(line) for line in text.splitlines()) < 120
+        (back,) = parse_traces(text)
+        assert back == t

@@ -1,0 +1,126 @@
+"""Unit tests for the loop-nest kernel trace builders."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.generators import kernels as k
+
+
+#: Kernels whose builders take an rng (stochastic data-dependent paths).
+STOCHASTIC = {"huffman", "histogram", "qsort"}
+
+
+class TestContracts:
+    @pytest.mark.parametrize("name,builder", sorted(k.KERNELS.items()))
+    def test_default_kernels_build(self, name, builder):
+        seq = builder(rng=0) if name in STOCHASTIC else builder()
+        assert len(seq) > 0
+        assert seq.num_variables >= 2
+        assert set(seq.accesses) <= set(seq.variables)
+
+    def test_registry_names_match_sequence_names(self):
+        for name, builder in k.KERNELS.items():
+            seq = builder(rng=0) if name in STOCHASTIC else builder()
+            assert seq.name == name
+
+    @pytest.mark.parametrize("name", sorted(STOCHASTIC))
+    def test_stochastic_kernels_deterministic_for_seed(self, name):
+        builder = k.KERNELS[name]
+        assert builder(rng=5) == builder(rng=5)
+
+
+class TestScaling:
+    def test_fir_scales_with_samples(self):
+        assert len(k.fir_filter(8, 20)) > len(k.fir_filter(8, 5))
+
+    def test_fir_vars_scale_with_taps(self):
+        assert k.fir_filter(16, 2).num_variables > k.fir_filter(4, 2).num_variables
+
+    def test_matmul_access_count(self):
+        # n^2 output cells, each: acc init + n 3-touch MACs + acc/store
+        seq = k.matmul(3)
+        assert len(seq) == 9 * (1 + 3 * 3 + 2)
+
+    def test_fft_requires_power_of_two(self):
+        with pytest.raises(TraceError):
+            k.fft_butterfly(12)
+
+    def test_fft_vars(self):
+        seq = k.fft_butterfly(8)
+        assert seq.num_variables == 2 * 8 + 4  # re/im + twiddles + temps
+
+    def test_stencil_interior_only(self):
+        seq = k.stencil5(4, 4, 1)
+        # 2x2 interior points, 6 recorder calls with 21 touches each... just
+        # assert the known touch count stays stable.
+        assert len(seq) == 4 * 13
+
+    def test_viterbi_scales_with_steps(self):
+        assert len(k.viterbi_trellis(4, 8)) == 2 * len(k.viterbi_trellis(4, 4))
+
+
+class TestValidation:
+    @pytest.mark.parametrize("call", [
+        lambda: k.fir_filter(0, 1),
+        lambda: k.iir_biquad(0, 1),
+        lambda: k.dct8(0),
+        lambda: k.matmul(0),
+        lambda: k.stencil5(2, 3),
+        lambda: k.viterbi_trellis(1, 1),
+        lambda: k.gsm_lpc(1, 1),
+        lambda: k.adpcm_step(0),
+        lambda: k.motion_estimation(1, 1),
+        lambda: k.huffman_encode(1, 1),
+        lambda: k.sobel3x3(2, 3),
+        lambda: k.conv1d(1, 5),
+        lambda: k.conv1d(5, 3),
+        lambda: k.histogram(1, 5),
+        lambda: k.crc32_loop(0),
+        lambda: k.quicksort_partition(2, 1),
+    ])
+    def test_bad_parameters_rejected(self, call):
+        with pytest.raises(TraceError):
+            call()
+
+
+class TestRealism:
+    def test_fir_has_heavy_accumulator_reuse(self):
+        seq = k.fir_filter(8, 10)
+        acc_freq = seq.frequency("acc")
+        assert acc_freq >= 10 * 8  # one acc touch per tap per sample
+
+    def test_adpcm_predictor_is_hot(self):
+        seq = k.adpcm_step(16)
+        assert seq.frequency("pred") >= 16 * 2
+
+    def test_motion_estimation_touches_all_window_offsets(self):
+        seq = k.motion_estimation(block=3, search=1)
+        assert seq.frequency("sad") >= 9 * 9  # 9 candidates x 9 pixels
+
+    def test_huffman_skewed_symbols(self):
+        seq = k.huffman_encode(8, 200, rng=1)
+        hot = seq.frequency("code0")
+        cold = seq.frequency("code7")
+        assert hot > cold
+
+    def test_sobel_taps_are_hot(self):
+        seq = k.sobel3x3(5, 5)
+        assert seq.frequency("sx") >= 9 * 7  # 9 interior px, 6 taps + init
+
+    def test_conv_signal_reuse(self):
+        # each interior signal word is touched `taps` times
+        seq = k.conv1d(taps=3, samples=10)
+        assert seq.frequency("s5") == 3
+
+    def test_histogram_hot_bins(self):
+        seq = k.histogram(bins=4, samples=100, rng=3)
+        freqs = [seq.frequency(f"bin{i}") for i in range(4)]
+        assert sum(freqs) == 200  # each sample hits its bin twice (RMW)
+
+    def test_crc_state_register_dominates(self):
+        seq = k.crc32_loop(blocks=20)
+        assert seq.frequency("crc") == 3 * 20
+
+    def test_qsort_cursors_sweep(self):
+        seq = k.quicksort_partition(elements=8, rounds=2, rng=4)
+        assert seq.frequency("pivot") > 2

@@ -1,0 +1,95 @@
+"""Unit tests for repro.trace.liveness (Fig. 3-(e) ground truth)."""
+
+from repro.trace.liveness import NEVER, Liveness
+from repro.trace.sequence import AccessSequence
+
+from tests.paperdata import FIG3_LIVENESS
+
+
+class TestFig3Table:
+    def test_liveness_table_matches_paper(self, fig3_sequence):
+        live = Liveness(fig3_sequence)
+        for v, (a, f, l) in FIG3_LIVENESS.items():
+            assert live.frequency(v) == a, v
+            assert live.first(v) == f, v
+            assert live.last(v) == l, v
+
+    def test_lifespan_of_b_is_two(self, fig3_sequence):
+        """Sec. III-B: 'the lifespan of variable b is 2 (4-2)'."""
+        assert Liveness(fig3_sequence).lifespan("b") == 2
+
+    def test_b_and_c_disjoint(self, fig3_sequence):
+        """Sec. III-B: 'variables b and c have disjoint lifespans'."""
+        live = Liveness(fig3_sequence)
+        assert live.disjoint("b", "c")
+        assert live.disjoint("c", "b")
+
+    def test_a_overlaps_b(self, fig3_sequence):
+        assert not Liveness(fig3_sequence).disjoint("a", "b")
+
+    def test_nested_within_a(self, fig3_sequence):
+        """Sec. III-B: objects inside a's lifespan are b, c, d."""
+        live = Liveness(fig3_sequence)
+        assert sorted(live.nested_within("a")) == ["b", "c", "d"]
+
+
+class TestEdgeCases:
+    def test_unaccessed_variable(self):
+        seq = AccessSequence(["a"], variables=["a", "ghost"])
+        live = Liveness(seq)
+        assert live.first("ghost") == NEVER
+        assert live.last("ghost") == NEVER
+        assert live.frequency("ghost") == 0
+        assert not live.is_accessed("ghost")
+        assert live.lifespan("ghost") == 0
+
+    def test_unaccessed_disjoint_from_everything(self):
+        seq = AccessSequence(["a", "a"], variables=["a", "ghost"])
+        live = Liveness(seq)
+        assert live.disjoint("a", "ghost")
+        assert live.disjoint("ghost", "a")
+
+    def test_single_access_lifespan_zero(self):
+        live = Liveness(AccessSequence(["a"]))
+        assert live.lifespan("a") == 0
+        assert live.first("a") == live.last("a") == 1
+
+    def test_empty_sequence(self):
+        live = Liveness(AccessSequence([], variables=["a", "b"]))
+        assert live.first("a") == NEVER
+        live.validate()
+
+    def test_positions_are_one_based(self):
+        live = Liveness(AccessSequence(["x", "y"]))
+        assert live.first("x") == 1
+        assert live.first("y") == 2
+
+
+class TestRelations:
+    def test_pairwise_disjoint_true(self, fig3_sequence):
+        live = Liveness(fig3_sequence)
+        assert live.pairwise_disjoint(["b", "c", "d", "e", "h"])
+
+    def test_pairwise_disjoint_false(self, fig3_sequence):
+        live = Liveness(fig3_sequence)
+        assert not live.pairwise_disjoint(["a", "b"])
+
+    def test_pairwise_disjoint_touching_is_overlap(self):
+        # u ends exactly where v starts -> they share position, not disjoint
+        seq = AccessSequence(list("aab"), variables=["a", "b"])
+        live = Liveness(seq)
+        assert live.disjoint("a", "b")  # L_a=2 < F_b=3
+        seq2 = AccessSequence(list("aba"), variables=["a", "b"])
+        assert not Liveness(seq2).disjoint("a", "b")
+
+    def test_by_first_occurrence_order(self, fig3_sequence):
+        order = Liveness(fig3_sequence).by_first_occurrence()
+        assert order == list("abcdiefgh")
+
+    def test_by_first_occurrence_unaccessed_last(self):
+        seq = AccessSequence(["b", "a"], variables=["a", "b", "z1", "z0"])
+        order = Liveness(seq).by_first_occurrence()
+        assert order == ["b", "a", "z1", "z0"]  # unaccessed keep decl order
+
+    def test_validate_passes(self, fig3_sequence):
+        Liveness(fig3_sequence).validate()

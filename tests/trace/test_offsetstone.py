@@ -1,0 +1,94 @@
+"""Unit tests for the OffsetStone-like benchmark suite."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.generators.offsetstone import (
+    MAX_VARS,
+    OFFSETSTONE_NAMES,
+    benchmark_profile,
+    largest_sequence_benchmark,
+    load_benchmark,
+    offsetstone_suite,
+)
+
+
+class TestSuiteShape:
+    def test_has_31_fig4_programs(self):
+        assert len(OFFSETSTONE_NAMES) == 31
+        for expected in ("8051", "adpcm", "gzip", "jpeg", "viterbi", "mp3"):
+            assert expected in OFFSETSTONE_NAMES
+
+    def test_every_profile_loadable_at_small_scale(self):
+        for name in OFFSETSTONE_NAMES:
+            bench = load_benchmark(name, scale=0.12, seed=3)
+            assert bench.num_sequences >= 2
+            assert bench.max_variables >= 2
+
+    def test_suite_loader_matches_individual_loads(self):
+        suite = offsetstone_suite(scale=0.15, seed=1, names=("adpcm", "gzip"))
+        solo = load_benchmark("adpcm", scale=0.15, seed=1)
+        assert suite[0].traces == solo.traces
+
+    def test_var_counts_capped_for_4kib_rtm(self):
+        for name in ("mp3", "mpeg2", "lpsolve"):
+            bench = load_benchmark(name, scale=1.0)
+            assert bench.max_variables <= MAX_VARS
+
+    def test_largest_benchmark_has_longest_sequence(self):
+        largest = load_benchmark(largest_sequence_benchmark(), scale=1.0)
+        assert largest.max_length >= 3000  # the published max is 3640
+
+    def test_domains_are_known(self):
+        domains = {"control", "dsp", "media", "compression", "scientific"}
+        for name in OFFSETSTONE_NAMES:
+            assert benchmark_profile(name).domain in domains
+
+
+class TestDeterminism:
+    def test_same_name_seed_scale_reproduces(self):
+        a = load_benchmark("bison", scale=0.2, seed=5)
+        b = load_benchmark("bison", scale=0.2, seed=5)
+        assert a.traces == b.traces
+
+    def test_different_seed_changes_traces(self):
+        a = load_benchmark("bison", scale=0.2, seed=5)
+        b = load_benchmark("bison", scale=0.2, seed=6)
+        assert a.traces != b.traces
+
+    def test_names_produce_distinct_programs(self):
+        a = load_benchmark("flex", scale=0.2, seed=5)
+        b = load_benchmark("cpp", scale=0.2, seed=5)
+        assert a.traces != b.traces
+
+
+class TestValidation:
+    def test_unknown_name_rejected(self):
+        with pytest.raises(TraceError, match="unknown benchmark"):
+            load_benchmark("quake3")
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(TraceError):
+            load_benchmark("adpcm", scale=0.0)
+        with pytest.raises(TraceError):
+            load_benchmark("adpcm", scale=1.5)
+
+
+class TestProgramAccessors:
+    def test_aggregate_properties(self):
+        bench = load_benchmark("dct", scale=0.3, seed=2)
+        assert bench.total_accesses == sum(len(t) for t in bench.traces)
+        assert bench.max_length == max(len(t) for t in bench.traces)
+        assert bench.num_sequences == len(bench.traces)
+
+    def test_write_ratio_controls_writes(self):
+        lo = load_benchmark("dct", scale=0.3, seed=2, write_ratio=0.0)
+        hi = load_benchmark("dct", scale=0.3, seed=2, write_ratio=0.9)
+        assert sum(t.num_writes for t in hi.traces) > sum(
+            t.num_writes for t in lo.traces
+        )
+
+    def test_scale_shrinks_work(self):
+        small = load_benchmark("jpeg", scale=0.15, seed=4)
+        large = load_benchmark("jpeg", scale=1.0, seed=4)
+        assert small.total_accesses < large.total_accesses

@@ -1,0 +1,128 @@
+"""Unit tests for the CFG-shaped procedure trace generator."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.generators.programs import (
+    ProcedureModel,
+    ProcedureSpec,
+    procedure_sequence,
+    program_sequences,
+)
+from repro.trace.liveness import Liveness
+from repro.trace.stats import analyze
+
+
+class TestSpecValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"target_statements": 0},
+        {"max_depth": -1},
+        {"procedure_vars": -1},
+        {"loop_probability": 1.0},
+        {"branch_probability": 1.0},
+        {"max_loop_iterations": 0},
+        {"reads_per_statement": (0, 2)},
+        {"reads_per_statement": (3, 2)},
+        {"locals_per_region": (0, 2)},
+    ])
+    def test_bad_specs_rejected(self, kwargs):
+        with pytest.raises(TraceError):
+            ProcedureSpec(**kwargs).validate()
+
+    def test_default_spec_valid(self):
+        ProcedureSpec().validate()
+
+
+class TestEmission:
+    def test_deterministic_for_seed(self):
+        a = procedure_sequence(rng=7, name="p")
+        b = procedure_sequence(rng=7, name="p")
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        assert procedure_sequence(rng=1) != procedure_sequence(rng=2)
+
+    def test_every_access_declared(self):
+        seq = procedure_sequence(rng=3)
+        assert set(seq.accesses) <= set(seq.variables)
+
+    def test_procedure_vars_span_whole_trace(self):
+        spec = ProcedureSpec(procedure_vars=3, target_statements=60)
+        seq = procedure_sequence(spec=spec, rng=5, name="q")
+        live = Liveness(seq)
+        globals_ = [v for v in seq.variables if "_g" in v]
+        assert len(globals_) == 3
+        spans = [live.lifespan(v) for v in globals_ if live.is_accessed(v)]
+        assert max(spans) > len(seq) // 2
+
+    def test_block_locals_are_region_scoped(self):
+        """Most locals die quickly: median lifespan well under the trace."""
+        seq = procedure_sequence(
+            ProcedureSpec(target_statements=120, procedure_vars=2), rng=11
+        )
+        stats = analyze(seq)
+        assert stats.median_lifespan < stats.length / 2
+
+    def test_most_variables_are_live(self):
+        seq = procedure_sequence(ProcedureSpec(target_statements=100), rng=13)
+        stats = analyze(seq)
+        assert stats.num_accessed >= stats.num_variables * 0.6
+
+    def test_loops_create_revisits(self):
+        """With loops enabled, some variables are re-touched after a gap."""
+        from repro.trace.stats import reuse_distances
+        spec = ProcedureSpec(target_statements=100, loop_probability=0.5)
+        seq = procedure_sequence(spec=spec, rng=17)
+        distances = reuse_distances(seq)
+        assert distances.size > 0
+        assert distances.max() > 20
+
+    def test_no_loops_no_branches(self):
+        spec = ProcedureSpec(
+            target_statements=40, loop_probability=0.0,
+            branch_probability=0.0, max_depth=0,
+        )
+        seq = procedure_sequence(spec=spec, rng=19)
+        assert len(seq) >= 40  # every statement emits >= 2 accesses
+
+    def test_zero_procedure_vars_allowed(self):
+        spec = ProcedureSpec(procedure_vars=0, target_statements=30)
+        seq = procedure_sequence(spec=spec, rng=23)
+        assert len(seq) > 0
+
+    def test_model_exposes_tree(self):
+        model = ProcedureModel(rng=29, name="m")
+        assert model.root.kind == "block"
+        assert model.emit().name == "m"
+
+    def test_emit_is_idempotent(self):
+        model = ProcedureModel(rng=43, name="idem")
+        assert model.emit() == model.emit()
+
+
+class TestProgramBag:
+    def test_bag_size_and_names(self):
+        seqs = program_sequences(3, rng=31, name="app")
+        assert [s.name for s in seqs] == ["app_p0", "app_p1", "app_p2"]
+
+    def test_procedures_are_independent(self):
+        seqs = program_sequences(2, rng=37)
+        assert set(seqs[0].variables).isdisjoint(seqs[1].variables)
+
+    def test_zero_rejected(self):
+        with pytest.raises(TraceError):
+            program_sequences(0)
+
+    def test_placement_quality_on_generated_programs(self):
+        """DMA should at least match AFD on structure-derived traces."""
+        from repro.core.cost import shift_cost
+        from repro.core.policies import get_policy
+        afd_total = dma_total = 0
+        for seq in program_sequences(4, rng=41):
+            afd_total += shift_cost(
+                seq, get_policy("AFD-OFU").place(seq, 4, 256)
+            )
+            dma_total += shift_cost(
+                seq, get_policy("DMA-SR").place(seq, 4, 256)
+            )
+        assert dma_total <= afd_total

@@ -1,0 +1,90 @@
+"""Unit tests for the trace statistics module."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.sequence import AccessSequence
+from repro.trace.stats import (
+    analyze,
+    reuse_distances,
+    self_transition_ratio,
+    working_set_sizes,
+    working_set_turnover,
+)
+
+
+class TestReuseDistances:
+    def test_simple(self):
+        seq = AccessSequence(list("aba"))
+        np.testing.assert_array_equal(reuse_distances(seq), [2])
+
+    def test_immediate_repeat_distance_one(self):
+        seq = AccessSequence(list("aa"))
+        np.testing.assert_array_equal(reuse_distances(seq), [1])
+
+    def test_no_reuse(self):
+        seq = AccessSequence(list("abc"))
+        assert reuse_distances(seq).size == 0
+
+
+class TestWorkingSets:
+    def test_sizes_per_window(self):
+        seq = AccessSequence(list("aabbccdd"))
+        np.testing.assert_array_equal(working_set_sizes(seq, window=4), [2, 2])
+
+    def test_turnover_full_rotation(self):
+        seq = AccessSequence(list("aaaabbbb"))
+        assert working_set_turnover(seq, window=4) == 1.0
+
+    def test_turnover_static_set(self):
+        seq = AccessSequence(list("abababab"))
+        assert working_set_turnover(seq, window=4) == 0.0
+
+    def test_window_validation(self):
+        seq = AccessSequence(list("ab"))
+        with pytest.raises(TraceError):
+            working_set_sizes(seq, window=0)
+        with pytest.raises(TraceError):
+            working_set_turnover(seq, window=0)
+
+
+class TestSelfTransitions:
+    def test_ratio(self):
+        seq = AccessSequence(list("aab"))
+        assert self_transition_ratio(seq) == pytest.approx(0.5)
+
+    def test_single_access(self):
+        assert self_transition_ratio(AccessSequence(["a"])) == 0.0
+
+
+class TestAnalyze:
+    def test_bundle_consistency(self, small_sequence):
+        stats = analyze(small_sequence)
+        assert stats.length == len(small_sequence)
+        assert stats.num_variables == small_sequence.num_variables
+        assert 0 <= stats.self_transition_ratio <= 1
+        assert 0 <= stats.working_set_turnover <= 1
+        assert 0 <= stats.disjoint_access_share <= 1
+        assert stats.disjoint_variables <= stats.num_accessed
+
+    def test_describe_is_informative(self, small_sequence):
+        text = analyze(small_sequence).describe()
+        assert "accesses" in text and "disjoint" in text
+
+    def test_phased_trace_has_high_turnover(self):
+        from repro.trace.generators.synthetic import phased_sequence
+        seq = phased_sequence(6, 4, 40, rng=1)
+        stats = analyze(seq, window=40)
+        assert stats.working_set_turnover > 0.5
+
+    def test_static_trace_has_low_turnover(self):
+        from repro.trace.generators.synthetic import zipf_sequence
+        seq = zipf_sequence(6, 240, alpha=1.0, locality=0.0, rng=1)
+        stats = analyze(seq, window=40)
+        assert stats.working_set_turnover < 0.3
+
+    def test_empty_sequence(self):
+        stats = analyze(AccessSequence([], variables=["a"]))
+        assert stats.length == 0
+        assert stats.disjoint_access_share == 0.0

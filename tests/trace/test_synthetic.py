@@ -1,0 +1,155 @@
+"""Unit tests for the synthetic sequence generators."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.generators.synthetic import (
+    concat_sequences,
+    looped_sequence,
+    markov_sequence,
+    phased_sequence,
+    sliding_window_sequence,
+    uniform_random_sequence,
+    zipf_sequence,
+)
+from repro.trace.liveness import Liveness
+
+
+ALL_GENERATORS = [
+    lambda rng: uniform_random_sequence(10, 50, rng=rng),
+    lambda rng: zipf_sequence(10, 50, rng=rng),
+    lambda rng: markov_sequence(10, 50, rng=rng),
+    lambda rng: phased_sequence(3, 4, 20, shared_vars=2, rng=rng),
+    lambda rng: looped_sequence(3, 5, 4, 4, rng=rng),
+    lambda rng: sliding_window_sequence(10, 50, rng=rng),
+]
+
+
+class TestCommonContract:
+    @pytest.mark.parametrize("make", ALL_GENERATORS)
+    def test_deterministic_for_seed(self, make):
+        assert make(42) == make(42)
+
+    @pytest.mark.parametrize("make", ALL_GENERATORS)
+    def test_different_seeds_differ(self, make):
+        assert make(1) != make(2)
+
+    @pytest.mark.parametrize("make", ALL_GENERATORS)
+    def test_every_access_is_declared(self, make):
+        seq = make(5)
+        assert set(seq.accesses) <= set(seq.variables)
+
+
+class TestParameterValidation:
+    def test_zero_vars_rejected(self):
+        with pytest.raises(TraceError):
+            uniform_random_sequence(0, 10)
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(TraceError):
+            uniform_random_sequence(10, 0)
+
+    def test_zipf_alpha_positive(self):
+        with pytest.raises(TraceError):
+            zipf_sequence(5, 10, alpha=0.0)
+
+    def test_zipf_locality_range(self):
+        with pytest.raises(TraceError):
+            zipf_sequence(5, 10, locality=1.0)
+
+    def test_markov_reuse_range(self):
+        with pytest.raises(TraceError):
+            markov_sequence(5, 10, reuse=1.0)
+
+    def test_markov_window_positive(self):
+        with pytest.raises(TraceError):
+            markov_sequence(5, 10, window=0)
+
+    def test_phased_rejects_zero_phase(self):
+        with pytest.raises(TraceError):
+            phased_sequence(0, 4, 10)
+
+    def test_phased_rejects_negative_shared(self):
+        with pytest.raises(TraceError):
+            phased_sequence(2, 4, 10, shared_vars=-1)
+
+    def test_looped_rejects_zero(self):
+        with pytest.raises(TraceError):
+            looped_sequence(1, 0, 1, 1)
+
+    def test_sliding_revisit_range(self):
+        with pytest.raises(TraceError):
+            sliding_window_sequence(5, 10, revisit=1.0)
+
+    def test_sliding_window_positive(self):
+        with pytest.raises(TraceError):
+            sliding_window_sequence(5, 10, window=0)
+
+    def test_concat_empty_rejected(self):
+        with pytest.raises(TraceError):
+            concat_sequences([])
+
+
+class TestStructure:
+    def test_phased_private_vars_are_disjoint_across_phases(self):
+        seq = phased_sequence(4, 3, 30, shared_vars=0, rng=3)
+        live = Liveness(seq)
+        p0 = [v for v in seq.variables if v.startswith("p0_")]
+        p3 = [v for v in seq.variables if v.startswith("p3_")]
+        for u in p0:
+            for v in p3:
+                assert live.disjoint(u, v)
+
+    def test_phased_total_length(self):
+        seq = phased_sequence(4, 3, 25, rng=0)
+        assert len(seq) == 100
+
+    def test_looped_repeats_pattern(self):
+        seq = looped_sequence(1, 4, 5, 3, rng=0)
+        body = seq.accesses[:4]
+        assert seq.accesses == body * 5
+
+    def test_looped_groups_disjoint(self):
+        seq = looped_sequence(3, 4, 3, 3, rng=1)
+        live = Liveness(seq)
+        g0 = [v for v in seq.variables if v.startswith("l0_")]
+        g2 = [v for v in seq.variables if v.startswith("l2_")]
+        for u in g0:
+            for v in g2:
+                assert live.disjoint(u, v)
+
+    def test_sliding_window_staggers_lifetimes(self):
+        seq = sliding_window_sequence(40, 400, window=3, locality=0.3, rng=5)
+        live = Liveness(seq)
+        accessed = [v for v in seq.variables if live.is_accessed(v)]
+        assert len(accessed) > 10
+        assert live.disjoint(accessed[0], accessed[-1])
+
+    def test_sliding_shared_vars_span_trace(self):
+        seq = sliding_window_sequence(
+            30, 600, shared_vars=2, shared_ratio=0.3, rng=6
+        )
+        live = Liveness(seq)
+        shared = [v for v in seq.variables if v.startswith("g")]
+        assert shared, "expected shared variables"
+        assert max(live.lifespan(v) for v in shared) > len(seq) // 2
+
+    def test_zipf_skews_frequencies(self):
+        seq = zipf_sequence(20, 2000, alpha=1.5, locality=0.0, rng=7)
+        freqs = sorted(
+            (seq.frequency(v) for v in seq.variables), reverse=True
+        )
+        assert freqs[0] > 3 * max(freqs[10], 1)
+
+    def test_markov_reuses_recent(self):
+        seq = markov_sequence(50, 500, reuse=0.8, window=2, rng=8)
+        repeats = sum(1 for a, b in zip(seq.accesses, seq.accesses[1:]) if a == b)
+        assert repeats > 50  # strong reuse with a tiny window
+
+    def test_concat_shares_union_universe(self):
+        a = uniform_random_sequence(3, 5, rng=1)
+        b = uniform_random_sequence(5, 5, rng=2)
+        c = concat_sequences([a, b], name="joined")
+        assert len(c) == 10
+        assert set(c.variables) == set(a.variables) | set(b.variables)
+        assert c.name == "joined"
