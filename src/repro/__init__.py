@@ -5,6 +5,9 @@ The package provides, from scratch:
 
 * :mod:`repro.trace` — access sequences, access graphs, liveness analysis
   and the OffsetStone-like benchmark suite;
+* :mod:`repro.engine` — the shift engine: one vectorizable kernel for
+  shift semantics with interchangeable (reference / batched numpy)
+  backends, shared by the simulator and the analytic cost model;
 * :mod:`repro.rtm` — the RTM architecture model, Table-I-calibrated
   latency/energy/area parameters and a trace-driven simulator;
 * :mod:`repro.core` — the placement algorithms: the DMA heuristic
@@ -23,6 +26,7 @@ Quickstart::
     print(shift_cost(seq, placement))
 """
 
+from repro.engine import available_backends, get_backend
 from repro.core import (
     GAConfig,
     GeneticPlacer,
@@ -54,10 +58,13 @@ from repro.trace import (
     write_traces,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
+    # engine
+    "available_backends",
+    "get_backend",
     # core
     "Placement",
     "shift_cost",

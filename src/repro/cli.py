@@ -11,9 +11,11 @@ from __future__ import annotations
 import argparse
 import sys
 from collections.abc import Sequence
+from dataclasses import replace
 
 from repro.core.cost import per_dbc_shift_costs
 from repro.core.policies import available_policies, get_policy
+from repro.engine import available_backends
 from repro.eval import experiments as exp
 from repro.eval.profiles import profile_from_env
 from repro.eval.reporting import render_experiment, save_experiment
@@ -38,6 +40,10 @@ def _add_device_args(parser: argparse.ArgumentParser) -> None:
                         choices=sorted(available_policies()),
                         help="placement policy (default DMA-SR)")
     parser.add_argument("--seed", type=int, default=0, help="RNG seed")
+    parser.add_argument("--backend", default=None,
+                        choices=available_backends(),
+                        help="shift-engine backend (default: numpy, or "
+                             "REPRO_BACKEND)")
 
 
 def main_place(argv: Sequence[str] | None = None) -> int:
@@ -76,6 +82,7 @@ def main_place(argv: Sequence[str] | None = None) -> int:
         costs = per_dbc_shift_costs(
             seq, placement, ports=args.ports,
             domains=args.domains if args.ports > 1 else None,
+            backend=args.backend,
         )
         print(f"trace {seq.name}: {len(seq)} accesses, "
               f"{seq.num_variables} variables")
@@ -102,7 +109,8 @@ def main_sim(argv: Sequence[str] | None = None) -> int:
         seq = trace.sequence
         placement = policy.place(seq, args.dbcs, args.domains, rng=args.seed)
         report = simulate(trace, placement, config,
-                          warm_start=not args.cold_start)
+                          warm_start=not args.cold_start,
+                          backend=args.backend)
         print(f"trace {seq.name}: {report.summary()}")
     return 0
 
@@ -162,8 +170,19 @@ def main_experiment(argv: Sequence[str] | None = None) -> int:
                         help="also write the report under DIR")
     parser.add_argument("--max-rows", type=int, default=None,
                         help="truncate the table for display")
+    parser.add_argument("--backend", default=None,
+                        choices=available_backends(),
+                        help="shift-engine backend (default: profile / "
+                             "REPRO_BACKEND)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="matrix-runner processes (default: profile / "
+                             "REPRO_WORKERS; 0 = all cores)")
     args = parser.parse_args(argv)
     profile = profile_from_env()
+    if args.backend is not None:
+        profile = replace(profile, engine_backend=args.backend)
+    if args.workers is not None:
+        profile = replace(profile, workers=args.workers)
     result = _EXPERIMENTS[args.experiment](profile)
     print(render_experiment(result, max_rows=args.max_rows))
     if args.save:

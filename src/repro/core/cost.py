@@ -7,9 +7,15 @@ is ``|loc(u) - loc(v)|``. The first access of each DBC is free (the port
 starts aligned to it) — this is the convention under which Fig. 3's
 39-vs-11 arithmetic holds, and it is applied to every policy alike.
 
-With multiple ports per track the controller picks the nearest port; the
-multi-port path mirrors :mod:`repro.rtm.device` exactly, so the analytic
-model and the simulator agree by construction (tested).
+The model and the trace-driven simulator are two views of the same
+kernel: both delegate to :mod:`repro.engine`, so they agree by
+construction rather than by parallel implementations. Pass ``domains``
+(the track length) to evaluate against real geometry — required for
+``ports > 1`` because port spacing depends on it, and required for the
+cold-start charge (``first_access_free=False``) to match the simulator
+exactly. Without ``domains``, the legacy geometry-free behaviour is
+kept: warm-start costs are pure position differences, and the cold-start
+charge guesses the track length from each DBC's fill.
 """
 
 from __future__ import annotations
@@ -17,8 +23,14 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.placement import Placement
+from repro.engine import (
+    ShiftRequest,
+    get_backend,
+    port_positions,
+    single_port_warm_total,
+)
+from repro.engine.compile import compile_access_arrays
 from repro.errors import PlacementError
-from repro.rtm.ports import PortPolicy, port_positions, select_port
 from repro.trace.sequence import AccessSequence
 
 
@@ -28,18 +40,19 @@ def shift_cost(
     ports: int = 1,
     domains: int | None = None,
     first_access_free: bool = True,
+    backend: object = None,
 ) -> int:
     """Total shifts to serve ``sequence`` under ``placement``.
 
     ``ports``/``domains`` describe the track geometry; the single-port
-    case needs no geometry (distances are position differences). For
-    ``ports > 1``, ``domains`` (the track length) is required because port
-    spacing depends on it.
+    warm-start case needs no geometry (distances are position
+    differences). For ``ports > 1``, ``domains`` (the track length) is
+    required because port spacing depends on it.
     """
     return sum(
         per_dbc_shift_costs(
             sequence, placement, ports=ports, domains=domains,
-            first_access_free=first_access_free,
+            first_access_free=first_access_free, backend=backend,
         )
     )
 
@@ -50,84 +63,62 @@ def per_dbc_shift_costs(
     ports: int = 1,
     domains: int | None = None,
     first_access_free: bool = True,
+    backend: object = None,
 ) -> list[int]:
     """Per-DBC shift totals (the ``S0``/``S1`` split costs of Fig. 3)."""
-    if ports == 1:
-        return _single_port_costs(sequence, placement, first_access_free)
-    if domains is None:
+    if ports > 1 and domains is None:
         raise PlacementError("multi-port cost needs the track length (domains)")
-    return _multi_port_costs(sequence, placement, ports, domains, first_access_free)
-
-
-def _single_port_costs(
-    sequence: AccessSequence, placement: Placement, first_access_free: bool
-) -> list[int]:
-    dbc_of, pos_of = placement.as_arrays(sequence)
-    codes = sequence.codes
-    costs = [0] * placement.num_dbcs
-    if codes.size == 0:
-        return costs
-    d = dbc_of[codes]
-    p = pos_of[codes]
-    order = np.argsort(d, kind="stable")
-    ds = d[order]
-    ps = p[order]
-    if ds.size > 1:
-        same = ds[1:] == ds[:-1]
-        diffs = np.abs(np.diff(ps))
-        per_dbc = np.bincount(
-            ds[1:][same], weights=diffs[same], minlength=placement.num_dbcs
+    num_dbcs = placement.num_dbcs
+    if len(sequence) == 0:
+        return [0] * num_dbcs
+    dbc, slot = compile_access_arrays(sequence, placement)
+    max_slot = int(slot.max())
+    if domains is not None and max_slot >= domains:
+        raise PlacementError(
+            f"slot {max_slot} outside a {domains}-domain track"
         )
-    else:
-        per_dbc = np.zeros(placement.num_dbcs)
-    if not first_access_free:
-        # Cold start: the single port sits at the track centre (see
-        # repro.rtm.ports.port_positions); first access pays the distance.
-        firsts = np.flatnonzero(np.r_[True, ds[1:] != ds[:-1]])
-        for idx in firsts:
-            dbc = int(ds[idx])
-            centre = _centre_position(placement, dbc)
-            per_dbc[dbc] += abs(int(ps[idx]) - centre)
-    return [int(c) for c in per_dbc]
-
-
-def _centre_position(placement: Placement, dbc: int) -> int:
-    # Track length defaults to the DBC's fill when unknown; the cold-start
-    # path that needs exact geometry goes through the simulator instead.
-    fill = max(len(placement.dbc_lists()[dbc]), 1)
-    return port_positions(fill, 1)[0]
-
-
-def _multi_port_costs(
-    sequence: AccessSequence,
-    placement: Placement,
-    ports: int,
-    domains: int,
-    first_access_free: bool,
-) -> list[int]:
-    dbc_of, pos_of = placement.as_arrays(sequence)
-    codes = sequence.codes
-    positions = port_positions(domains, ports)
-    offsets = [0] * placement.num_dbcs
-    aligned = [False] * placement.num_dbcs
-    costs = [0] * placement.num_dbcs
-    for c in codes:
-        dbc = int(dbc_of[c])
-        slot = int(pos_of[c])
-        if slot >= domains:
-            raise PlacementError(
-                f"slot {slot} outside a {domains}-domain track"
-            )
-        _port, delta = select_port(
-            positions, offsets[dbc], slot, PortPolicy.NEAREST
+    # Without geometry the cold-start charge cannot know the real track
+    # length; keep the legacy fill-based guess on that path only, and run
+    # the engine warm (the guess is added on top).
+    legacy_cold = domains is None and not first_access_free
+    result = get_backend(backend).run(
+        ShiftRequest(
+            dbc=dbc,
+            slot=slot,
+            num_dbcs=num_dbcs,
+            domains=domains if domains is not None else max_slot + 1,
+            ports=ports,
+            warm_start=first_access_free or legacy_cold,
         )
-        offsets[dbc] += delta
-        if not aligned[dbc]:
-            aligned[dbc] = True
-            if first_access_free:
-                delta = 0
-        costs[dbc] += abs(delta)
+    )
+    costs = [int(c) for c in result.per_dbc_shifts]
+    if legacy_cold:
+        for dbc_index, surcharge in _fill_cold_surcharges(placement, dbc, slot):
+            costs[dbc_index] += surcharge
     return costs
+
+
+def _fill_cold_surcharges(
+    placement: Placement, dbc: np.ndarray, slot: np.ndarray
+) -> list[tuple[int, int]]:
+    """Legacy cold-start charges when the track length is unknown.
+
+    Each accessed DBC pays the distance from a port guessed to sit at the
+    centre of its *fill* (not the real track) to its first accessed slot.
+    Kept only for geometry-free callers; pass ``domains`` for charges
+    that match the simulator exactly.
+    """
+    order = np.argsort(dbc, kind="stable")
+    ds = dbc[order]
+    ss = slot[order]
+    first = np.flatnonzero(np.r_[True, ds[1:] != ds[:-1]])
+    charges = []
+    for idx in first:
+        dbc_index = int(ds[idx])
+        fill = max(len(placement.dbc_lists()[dbc_index]), 1)
+        centre = port_positions(fill, 1)[0]
+        charges.append((dbc_index, abs(int(ss[idx]) - centre)))
+    return charges
 
 
 def cost_from_arrays(
@@ -144,10 +135,4 @@ def cost_from_arrays(
     """
     if codes.size <= 1:
         return 0
-    d = dbc_of[codes]
-    p = pos_of[codes]
-    order = np.argsort(d, kind="stable")
-    ds = d[order]
-    ps = p[order]
-    same = ds[1:] == ds[:-1]
-    return int(np.abs(np.diff(ps))[same].sum())
+    return single_port_warm_total(dbc_of[codes], pos_of[codes])

@@ -1,0 +1,91 @@
+"""The shift engine: one kernel behind the simulator and the cost model.
+
+Shift semantics used to live in three places — the per-access device
+model, the controller's execute loop and the analytic cost model — and
+keeping them consistent required parallel implementations "agreeing by
+construction (tested)". This package is the consolidation: the scalar
+semantics (:mod:`repro.engine.semantics`) define what a shift is, and two
+interchangeable *backends* execute whole batches of accesses:
+
+* ``reference`` — the per-access Python loop, kept as the oracle;
+* ``numpy``     — batched vectorized execution (the default), an order
+  of magnitude faster on realistic traces.
+
+Backends implement ``run(ShiftRequest) -> ShiftResult`` and are
+guaranteed to produce identical counters (enforced by the equivalence
+test matrix). Select one globally via the ``REPRO_BACKEND`` environment
+variable, or per call site via the ``backend=`` parameters threaded
+through :func:`repro.rtm.sim.simulate`, :func:`repro.core.cost.shift_cost`
+and :func:`repro.eval.runner.run_matrix`.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.engine.compile import (
+    clear_compile_caches,
+    compile_access_arrays,
+    trace_fingerprint,
+)
+from repro.engine.numpy_backend import NumpyBackend, single_port_warm_total
+from repro.engine.reference import ReferenceBackend
+from repro.engine.semantics import PortPolicy, port_positions, select_port, step
+from repro.engine.types import ShiftRequest, ShiftResult
+from repro.errors import SimulationError
+
+#: Registry of interchangeable backends (stateless, shared instances).
+_BACKENDS = {
+    ReferenceBackend.name: ReferenceBackend(),
+    NumpyBackend.name: NumpyBackend(),
+}
+
+DEFAULT_BACKEND = NumpyBackend.name
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names of the registered engine backends."""
+    return tuple(sorted(_BACKENDS))
+
+
+def get_backend(backend: object = None):
+    """Resolve a backend from a name, an instance, or the environment.
+
+    ``None`` resolves to the ``REPRO_BACKEND`` environment variable and
+    falls back to the numpy backend; a string is looked up in the
+    registry; anything exposing ``run`` is returned unchanged.
+    """
+    if backend is None:
+        backend = os.environ.get("REPRO_BACKEND", DEFAULT_BACKEND)
+    if isinstance(backend, str):
+        try:
+            return _BACKENDS[backend]
+        except KeyError:
+            raise SimulationError(
+                f"unknown engine backend {backend!r}; "
+                f"available: {', '.join(available_backends())}"
+            ) from None
+    if hasattr(backend, "run"):
+        return backend
+    raise SimulationError(
+        f"expected a backend name or instance, got {type(backend).__name__}"
+    )
+
+
+__all__ = [
+    "DEFAULT_BACKEND",
+    "NumpyBackend",
+    "PortPolicy",
+    "ReferenceBackend",
+    "ShiftRequest",
+    "ShiftResult",
+    "available_backends",
+    "clear_compile_caches",
+    "compile_access_arrays",
+    "get_backend",
+    "port_positions",
+    "select_port",
+    "single_port_warm_total",
+    "step",
+    "trace_fingerprint",
+]

@@ -1,0 +1,66 @@
+"""Compilation layer: (trace, placement) → engine arrays, with caching.
+
+The engine consumes flat per-access ``(dbc, slot)`` arrays; this module
+produces them from the library's high-level objects and memoizes the
+results. Both :class:`~repro.trace.sequence.AccessSequence` and
+:class:`~repro.core.placement.Placement` are immutable and hashable, so
+``lru_cache`` keys are sound; the arrays are frozen before caching so
+sharing them is safe.
+
+Only duck-typed protocols are used (``sequence.codes``,
+``placement.as_arrays``) — the engine package never imports the core or
+trace packages, keeping the dependency graph acyclic.
+
+:func:`trace_fingerprint` is the content identity used by the matrix
+runner's result cache: two traces with equal variables, access codes and
+write masks are the same workload wherever they came from.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from functools import lru_cache
+
+import numpy as np
+
+
+@lru_cache(maxsize=1024)
+def compile_access_arrays(sequence, placement) -> tuple[np.ndarray, np.ndarray]:
+    """Per-access ``(dbc, slot)`` int64 arrays for a sequence under a placement.
+
+    Cached on the (immutable) argument pair, so sweeping many geometries
+    or policies over the same compiled cell is free after the first call.
+    The returned arrays are read-only; copy before mutating.
+    """
+    dbc_of, pos_of = placement.as_arrays(sequence)
+    codes = sequence.codes
+    dbc = np.ascontiguousarray(dbc_of[codes], dtype=np.int64)
+    slot = np.ascontiguousarray(pos_of[codes], dtype=np.int64)
+    dbc.setflags(write=False)
+    slot.setflags(write=False)
+    return dbc, slot
+
+
+@lru_cache(maxsize=2048)
+def trace_fingerprint(trace) -> str:
+    """Stable content digest of a memory trace (hex SHA-256).
+
+    Depends only on the variable universe, the access codes and the
+    write mask — not on object identity or the process — so it can key
+    caches that survive re-generation of identical workloads and agree
+    across worker processes.
+    """
+    h = hashlib.sha256()
+    seq = trace.sequence
+    h.update("\x00".join(seq.variables).encode())
+    h.update(b"|")
+    h.update(np.ascontiguousarray(seq.codes, dtype=np.int64).tobytes())
+    h.update(b"|")
+    h.update(np.packbits(np.asarray(trace.writes, dtype=bool)).tobytes())
+    return h.hexdigest()
+
+
+def clear_compile_caches() -> None:
+    """Drop all memoized compilations (mostly for tests)."""
+    compile_access_arrays.cache_clear()
+    trace_fingerprint.cache_clear()

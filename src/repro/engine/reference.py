@@ -1,0 +1,42 @@
+"""Per-access Python reference backend.
+
+The oracle implementation: one :func:`repro.engine.semantics.step` per
+access, in trace order, exactly as a cycle-by-cycle controller would
+issue them. It is deliberately unoptimized — its job is to pin down the
+semantics the vectorized backend must reproduce, and to stay readable
+enough to audit against the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.semantics import port_positions, step
+from repro.engine.types import ShiftRequest, ShiftResult
+
+
+class ReferenceBackend:
+    """Executes requests with a per-access Python loop (the oracle)."""
+
+    name = "reference"
+
+    def run(self, request: ShiftRequest) -> ShiftResult:
+        init_offsets, init_aligned = request.resolved_init()
+        positions = port_positions(request.domains, request.ports)
+        offsets = init_offsets.tolist()
+        aligned = init_aligned.tolist()
+        per_dbc = [0] * request.num_dbcs
+        for d, s in zip(request.dbc.tolist(), request.slot.tolist()):
+            offsets[d], cost = step(
+                positions, request.domains, offsets[d], aligned[d], s,
+                request.policy, request.warm_start,
+            )
+            aligned[d] = True
+            per_dbc[d] += cost
+        return ShiftResult(
+            accesses=request.accesses,
+            shifts=sum(per_dbc),
+            per_dbc_shifts=tuple(per_dbc),
+            final_offsets=np.asarray(offsets, dtype=np.int64),
+            final_aligned=np.asarray(aligned, dtype=bool),
+        )

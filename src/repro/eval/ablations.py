@@ -43,7 +43,8 @@ def ablation_ports(
             for p, placement in placements.items():
                 for pt in ports:
                     totals[(p, pt)] += shift_cost(
-                        seq, placement, ports=pt, domains=domains
+                        seq, placement, ports=pt, domains=domains,
+                        backend=profile.engine_backend,
                     )
     rows = [
         [f"{pt} port(s)", *[totals[(p, pt)] for p in policies]]
@@ -79,11 +80,13 @@ def ablation_multiset(
                               rng=s, name=f"phased{s}")
         single = shift_cost(
             seq, dma_placement(seq, num_dbcs, domains,
-                               intra=shifts_reduce_order)
+                               intra=shifts_reduce_order),
+            backend=profile.engine_backend,
         )
         multi = shift_cost(
             seq, multiset_dma_placement(seq, num_dbcs, domains,
-                                        intra=shifts_reduce_order)
+                                        intra=shifts_reduce_order),
+            backend=profile.engine_backend,
         )
         rows.append([seq.name, single, multi])
         single_total += single

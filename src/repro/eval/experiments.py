@@ -431,7 +431,8 @@ def experiment_sec4b_gap(
     heuristic_costs = {}
     for name in ("DMA-OFU", "DMA-Chen", "DMA-SR"):
         placement = get_policy(name).place(seq, num_dbcs, capacity)
-        heuristic_costs[name] = shift_cost(seq, placement)
+        heuristic_costs[name] = shift_cost(seq, placement,
+                                           backend=profile.engine_backend)
     best_heur_name = min(heuristic_costs, key=lambda k: heuristic_costs[k])
     best_heur = heuristic_costs[best_heur_name]
 

@@ -11,13 +11,18 @@ keeping every code path identical:
 * ``smoke``  — a handful of programs, seconds; used by the test-suite.
 
 Select via ``REPRO_PROFILE=quick|full|smoke`` or pass a profile object
-explicitly.
+explicitly. The execution knobs of the shift-engine refactor ride along
+on the profile: ``engine_backend`` picks the shift engine (vectorized
+``numpy`` by default, ``reference`` for the per-access oracle) and
+``workers`` the process-pool width of the matrix runner; both can be
+forced from the environment with ``REPRO_BACKEND`` / ``REPRO_WORKERS``
+(``REPRO_WORKERS=0`` means "all cores").
 """
 
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.errors import ExperimentError
 from repro.trace.generators.offsetstone import OFFSETSTONE_NAMES
@@ -34,13 +39,18 @@ class EvalProfile:
     seed: int = 7
     benchmarks: tuple[str, ...] = OFFSETSTONE_NAMES
     write_ratio: float = 0.25
+    #: Shift-engine backend for simulation and analytic costs.
+    engine_backend: str = "numpy"
+    #: Process-pool width of the matrix runner (1 = serial, 0 = all cores).
+    workers: int = 1
 
     def describe(self) -> str:
         ga = ", ".join(f"{k}={v}" for k, v in sorted(self.ga_options.items()))
         return (
             f"profile {self.name!r}: {len(self.benchmarks)} benchmarks at "
             f"scale {self.suite_scale}, GA({ga or 'paper defaults'}), "
-            f"RW {self.rw_iterations} iters, seed {self.seed}"
+            f"RW {self.rw_iterations} iters, seed {self.seed}, "
+            f"{self.engine_backend} engine x {self.workers} worker(s)"
         )
 
 
@@ -70,11 +80,27 @@ _PROFILES = {p.name: p for p in (FULL_PROFILE, QUICK_PROFILE, SMOKE_PROFILE)}
 
 
 def profile_from_env(default: str = "quick") -> EvalProfile:
-    """Resolve the profile from ``REPRO_PROFILE`` (default ``quick``)."""
+    """Resolve the profile from ``REPRO_PROFILE`` (default ``quick``).
+
+    ``REPRO_BACKEND`` and ``REPRO_WORKERS`` override the profile's engine
+    backend and matrix-runner parallelism without defining a new profile.
+    """
     name = os.environ.get("REPRO_PROFILE", default).strip().lower()
     try:
-        return _PROFILES[name]
+        profile = _PROFILES[name]
     except KeyError:
         raise ExperimentError(
             f"unknown REPRO_PROFILE {name!r}; choose from {sorted(_PROFILES)}"
         ) from None
+    backend = os.environ.get("REPRO_BACKEND")
+    if backend:
+        profile = replace(profile, engine_backend=backend.strip().lower())
+    workers = os.environ.get("REPRO_WORKERS")
+    if workers:
+        try:
+            profile = replace(profile, workers=int(workers))
+        except ValueError:
+            raise ExperimentError(
+                f"REPRO_WORKERS must be an integer, got {workers!r}"
+            ) from None
+    return profile

@@ -3,22 +3,42 @@
 One *cell* places and simulates every access sequence of a program under
 one policy on one configuration, summing analytic shifts and simulator
 reports — the quantity Figs. 4-6 aggregate.
+
+The full matrix is embarrassingly parallel and the runner exploits that:
+
+* cells are dispatched to a ``concurrent.futures`` process pool
+  (``workers > 1``), each worker rebuilding its policies from picklable
+  *specs* (policy closures do not pickle) and every cell receiving the
+  same deterministic RNG seed it would get serially — ``workers=1`` and
+  ``workers=N`` are bit-identical;
+* results are de-duplicated through a content-keyed cache: a cell is
+  keyed by the digest of its traces, its policy spec, its configuration
+  and (for stochastic policies only) its seed, so re-running overlapping
+  matrices — different figures share most cells — is near-free.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
+import os
 from collections.abc import Iterable, Sequence
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
 from repro.core.cost import shift_cost
 from repro.core.policies import Policy, get_policy
 from repro.eval.profiles import EvalProfile, QUICK_PROFILE
+from repro.engine import trace_fingerprint
 from repro.rtm.geometry import RTMConfig, iso_capacity_sweep
 from repro.rtm.report import SimReport
 from repro.rtm.sim import simulate
 from repro.rtm.timing import params_for
 from repro.trace.generators.offsetstone import BenchmarkProgram, load_benchmark
-from repro.util.rng import ensure_rng, spawn_rng
+from repro.util.rng import ensure_rng, spawn_seeds
+
+#: A picklable policy recipe: ``(name, constructor kwargs)``.
+PolicySpec = tuple[str, dict]
 
 
 @dataclass(frozen=True)
@@ -45,19 +65,30 @@ def run_policy_on_program(
     policy: Policy,
     config: RTMConfig,
     rng=None,
+    backend: object = None,
 ) -> CellResult:
     """Place and simulate every sequence of ``program`` independently."""
     gen = ensure_rng(rng)
     params = params_for(config)
     capacity = config.locations_per_dbc
+    single_port = config.ports_per_track == 1
     total_shifts = 0
     total_report: SimReport | None = None
     for trace in program.traces:
         seq = trace.sequence
         placement = policy.place(seq, config.dbcs, capacity, rng=gen)
         placement.validate_for(seq, num_dbcs=config.dbcs, capacity=capacity)
-        total_shifts += shift_cost(seq, placement)
-        report = simulate(trace, placement, config, params=params)
+        report = simulate(trace, placement, config, params=params,
+                          backend=backend)
+        if single_port:
+            # Analytic model and simulator are the same engine kernel on
+            # this path; reuse the simulated count instead of recomputing.
+            total_shifts += report.shifts
+        else:
+            # The cell's ``shifts`` column stays the single-port analytic
+            # cost (the paper's Fig. 4 quantity) even on multi-port
+            # geometries, where the simulated count differs.
+            total_shifts += shift_cost(seq, placement, backend=backend)
         total_report = report if total_report is None else total_report + report
     assert total_report is not None
     return CellResult(
@@ -69,17 +100,25 @@ def run_policy_on_program(
     )
 
 
-def build_policies(names: Sequence[str], profile: EvalProfile) -> list[Policy]:
-    """Instantiate policies with the profile's search budgets applied."""
-    policies = []
+def policy_specs(
+    names: Sequence[str], profile: EvalProfile
+) -> list[PolicySpec]:
+    """Picklable policy recipes with the profile's search budgets applied."""
+    specs: list[PolicySpec] = []
     for name in names:
         if name == "GA":
-            policies.append(get_policy("GA", **profile.ga_options))
+            specs.append((name, dict(profile.ga_options)))
         elif name == "RW":
-            policies.append(get_policy("RW", iterations=profile.rw_iterations))
+            specs.append((name, {"iterations": profile.rw_iterations}))
         else:
-            policies.append(get_policy(name))
-    return policies
+            specs.append((name, {}))
+    return specs
+
+
+def build_policies(names: Sequence[str], profile: EvalProfile) -> list[Policy]:
+    """Instantiate policies with the profile's search budgets applied."""
+    return [get_policy(name, **options)
+            for name, options in policy_specs(names, profile)]
 
 
 def load_suite(profile: EvalProfile) -> list[BenchmarkProgram]:
@@ -95,29 +134,149 @@ def load_suite(profile: EvalProfile) -> list[BenchmarkProgram]:
     ]
 
 
+# -- content-keyed result cache ---------------------------------------------
+
+_CELL_CACHE: dict[str, CellResult] = {}
+
+
+def clear_cell_cache() -> None:
+    """Drop all memoized cell results (mostly for tests)."""
+    _CELL_CACHE.clear()
+
+
+def _cell_key(
+    program: BenchmarkProgram,
+    spec: PolicySpec,
+    config: RTMConfig,
+    seed: int,
+    deterministic: bool,
+    backend: object,
+) -> str:
+    """Content digest identifying one cell's inputs.
+
+    Deterministic policies ignore their RNG stream, so their key omits
+    the seed — cells recur across differently shaped matrices (each
+    figure runs its own policy subset, which reshuffles seed assignment)
+    and still hit the cache.
+    """
+    h = hashlib.sha256()
+    h.update(program.name.encode())
+    for trace in program.traces:
+        h.update(trace_fingerprint(trace).encode())
+    name, options = spec
+    h.update(json.dumps([name, options], sort_keys=True).encode())
+    h.update(
+        json.dumps([config.dbcs, config.tracks_per_dbc,
+                    config.domains_per_track, config.ports_per_track,
+                    config.banks, config.subarrays]).encode()
+    )
+    if not deterministic:
+        h.update(str(seed).encode())
+    if backend is not None:
+        h.update(str(backend).encode())
+    return h.hexdigest()
+
+
+# -- process-pool plumbing ---------------------------------------------------
+
+#: Per-worker state installed by the pool initializer: the (pickled-once)
+#: programs/configs and the policies rebuilt from their specs.
+_WORKER: dict = {}
+
+
+def _init_worker(
+    programs: Sequence[BenchmarkProgram],
+    specs: Sequence[PolicySpec],
+    configs: Sequence[RTMConfig],
+    backend: object,
+) -> None:
+    _WORKER["programs"] = list(programs)
+    _WORKER["policies"] = [get_policy(n, **kw) for n, kw in specs]
+    _WORKER["configs"] = list(configs)
+    _WORKER["backend"] = backend
+
+
+def _run_cell_job(job: tuple[int, int, int, int]) -> CellResult:
+    program_i, config_i, policy_i, seed = job
+    return run_policy_on_program(
+        _WORKER["programs"][program_i],
+        _WORKER["policies"][policy_i],
+        _WORKER["configs"][config_i],
+        rng=seed,
+        backend=_WORKER["backend"],
+    )
+
+
+def _resolve_workers(workers: int) -> int:
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    return workers or (os.cpu_count() or 1)
+
+
 def run_matrix(
     policy_names: Sequence[str],
     profile: EvalProfile = QUICK_PROFILE,
     configs: Iterable[RTMConfig] | None = None,
     programs: Sequence[BenchmarkProgram] | None = None,
+    workers: int | None = None,
+    backend: object = None,
+    use_cache: bool = True,
 ) -> dict[tuple[str, str, int], CellResult]:
     """Run the full (program x config x policy) matrix.
 
     Results are keyed by ``(benchmark, policy, dbcs)``. Every cell gets an
     independent deterministic RNG stream derived from the profile seed, so
-    sub-matrices reproduce the full matrix's cells exactly.
+    sub-matrices reproduce the full matrix's cells exactly and the worker
+    count never changes any number. ``workers``/``backend`` default to the
+    profile's settings (``workers=0`` means one per core); ``use_cache``
+    consults and fills the process-wide content-keyed cell cache.
     """
     programs = list(programs) if programs is not None else load_suite(profile)
     configs = list(configs) if configs is not None else iso_capacity_sweep()
+    specs = policy_specs(policy_names, profile)
     policies = build_policies(policy_names, profile)
+    if workers is None:
+        workers = profile.workers
+    if backend is None:
+        backend = profile.engine_backend
+    workers = _resolve_workers(workers)
     master = ensure_rng(profile.seed)
-    streams = spawn_rng(master, len(programs) * len(configs) * len(policies))
+    seeds = spawn_seeds(master, len(programs) * len(configs) * len(policies))
     results: dict[tuple[str, str, int], CellResult] = {}
+    pending: list[tuple[tuple[str, str, int], tuple[int, int, int, int], str]] = []
     i = 0
-    for program in programs:
-        for config in configs:
-            for policy in policies:
-                cell = run_policy_on_program(program, policy, config, streams[i])
-                results[(program.name, policy.name, config.dbcs)] = cell
+    for pi, program in enumerate(programs):
+        for ci, config in enumerate(configs):
+            for li, policy in enumerate(policies):
+                key = _cell_key(program, specs[li], config, seeds[i],
+                                policy.deterministic, backend)
+                result_key = (program.name, policy.name, config.dbcs)
+                cached = _CELL_CACHE.get(key) if use_cache else None
+                if cached is not None:
+                    results[result_key] = cached
+                else:
+                    pending.append((result_key, (pi, ci, li, seeds[i]), key))
                 i += 1
+    if pending:
+        jobs = [job for _, job, _ in pending]
+        if workers > 1 and len(pending) > 1:
+            pool_size = min(workers, len(pending))
+            with ProcessPoolExecutor(
+                max_workers=pool_size,
+                initializer=_init_worker,
+                initargs=(programs, specs, configs, backend),
+            ) as pool:
+                cells = list(pool.map(_run_cell_job, jobs))
+        else:
+            cells = [
+                run_policy_on_program(
+                    programs[pi], policies[li], configs[ci],
+                    rng=seed, backend=backend,
+                )
+                for pi, ci, li, seed in jobs
+            ]
+        for (result_key, _job, key), cell in zip(pending, cells):
+            results[result_key] = cell
+            if use_cache:
+                _CELL_CACHE[key] = cell
     return results

@@ -3,13 +3,20 @@ accesses against per-DBC device state.
 
 This is the piece RTSim plays in the paper's flow: it receives a memory
 trace and a placement, drives the shift machinery, and accounts latency
-and energy using the DESTINY-calibrated parameters.
+and energy using the DESTINY-calibrated parameters. Since the shift-
+engine refactor it no longer walks traces one access at a time: a trace
+is compiled to flat ``(dbc, slot)`` arrays once and handed to an engine
+backend (vectorized numpy by default, the per-access reference loop on
+request), with the per-DBC shift state carried between ``execute`` calls
+exactly as the old per-access device loop did.
 """
 
 from __future__ import annotations
 
+import numpy as np
+
+from repro.engine import ShiftRequest, get_backend
 from repro.errors import PlacementError, SimulationError
-from repro.rtm.device import DBCState
 from repro.rtm.geometry import RTMConfig
 from repro.rtm.ports import PortPolicy
 from repro.rtm.report import SimReport
@@ -35,6 +42,9 @@ class RTMController:
     warm_start:
         Whether each DBC's first access aligns for free (the paper's cost
         convention; see DESIGN.md §6).
+    backend:
+        Engine backend name or instance; defaults to the process-wide
+        default (``REPRO_BACKEND`` or vectorized numpy).
     """
 
     def __init__(
@@ -44,6 +54,7 @@ class RTMController:
         params: MemoryParams | None = None,
         port_policy: PortPolicy = PortPolicy.NEAREST,
         warm_start: bool = True,
+        backend: object = None,
     ) -> None:
         dbc_lists = [list(d) for d in placement.dbc_lists()]
         if len(dbc_lists) > config.dbcs:
@@ -68,10 +79,10 @@ class RTMController:
         self.params = params or params_for(config)
         self.port_policy = port_policy
         self.warm_start = warm_start
-        self._dbcs = [
-            DBCState(config.domains_per_track, config.ports_per_track)
-            for _ in range(config.dbcs)
-        ]
+        self._backend = get_backend(backend)
+        self._offsets = np.zeros(config.dbcs, dtype=np.int64)
+        self._aligned = np.zeros(config.dbcs, dtype=bool)
+        self._per_dbc_shifts = np.zeros(config.dbcs, dtype=np.int64)
 
     # -- execution -----------------------------------------------------------
 
@@ -82,24 +93,52 @@ class RTMController:
         except KeyError:
             raise SimulationError(f"variable {variable!r} has no location") from None
 
+    def _compile(self, trace: MemoryTrace) -> tuple[np.ndarray, np.ndarray]:
+        """Per-access ``(dbc, slot)`` arrays for a trace under this mapping."""
+        seq = trace.sequence
+        var_dbc = np.full(seq.num_variables, -1, dtype=np.int64)
+        var_slot = np.full(seq.num_variables, -1, dtype=np.int64)
+        for code, name in enumerate(seq.variables):
+            loc = self._location.get(name)
+            if loc is not None:
+                var_dbc[code], var_slot[code] = loc
+        codes = seq.codes
+        if codes.size:
+            used = np.unique(codes)
+            missing = used[var_dbc[used] < 0]
+            if missing.size:
+                name = seq.variables[int(missing[0])]
+                raise SimulationError(f"variable {name!r} has no location")
+        return var_dbc[codes], var_slot[codes]
+
     def execute(self, trace: MemoryTrace) -> SimReport:
         """Run one trace to completion and report counters and energy."""
         p = self.params
-        reads = writes = shifts = 0
-        runtime = 0.0
-        for name, is_write in trace.operations():
-            dbc_index, slot = self.location_of(name)
-            moved = self._dbcs[dbc_index].access(
-                slot, policy=self.port_policy, warm_start=self.warm_start
+        dbc, slot = self._compile(trace)
+        result = self._backend.run(
+            ShiftRequest(
+                dbc=dbc,
+                slot=slot,
+                num_dbcs=self.config.dbcs,
+                domains=self.config.domains_per_track,
+                ports=self.config.ports_per_track,
+                policy=self.port_policy,
+                warm_start=self.warm_start,
+                init_offsets=self._offsets,
+                init_aligned=self._aligned,
             )
-            shifts += moved
-            runtime += moved * p.shift_latency_ns
-            if is_write:
-                writes += 1
-                runtime += p.write_latency_ns
-            else:
-                reads += 1
-                runtime += p.read_latency_ns
+        )
+        self._offsets = result.final_offsets
+        self._aligned = result.final_aligned
+        self._per_dbc_shifts += np.asarray(result.per_dbc_shifts, dtype=np.int64)
+        writes = trace.num_writes
+        reads = len(trace) - writes
+        shifts = result.shifts
+        runtime = (
+            shifts * p.shift_latency_ns
+            + reads * p.read_latency_ns
+            + writes * p.write_latency_ns
+        )
         return SimReport(
             dbcs=self.config.dbcs,
             accesses=reads + writes,
@@ -112,14 +151,15 @@ class RTMController:
             shift_energy_pj=shifts * p.shift_energy_pj,
             leakage_energy_pj=p.leakage_mw * runtime,
             area_mm2=p.area_mm2,
-            per_dbc_shifts=tuple(d.shifts for d in self._dbcs),
+            per_dbc_shifts=tuple(int(s) for s in self._per_dbc_shifts),
         )
 
     def reset(self) -> None:
         """Return all DBCs to the unaligned initial state."""
-        for d in self._dbcs:
-            d.reset()
+        self._offsets = np.zeros(self.config.dbcs, dtype=np.int64)
+        self._aligned = np.zeros(self.config.dbcs, dtype=bool)
+        self._per_dbc_shifts = np.zeros(self.config.dbcs, dtype=np.int64)
 
     @property
     def total_shifts(self) -> int:
-        return sum(d.shifts for d in self._dbcs)
+        return int(self._per_dbc_shifts.sum())

@@ -3,14 +3,19 @@
 All ``T`` tracks of a DBC shift in lock-step, so one offset models the
 whole cluster. The offset is bounded: a track of ``K`` domains with a
 port at position ``P`` can align locations ``0..K-1``, so the offset
-stays within ``[-(K-1), K-1]`` — the device enforces this physically
-sensible envelope and flags violations as simulation bugs.
+stays within ``[-(K-1), K-1]`` — the engine's scalar step enforces this
+physically sensible envelope and flags violations as simulation bugs.
+
+:class:`DBCState` is the stateful per-access view of the shift engine's
+semantics: every ``access`` is exactly one :func:`repro.engine.semantics
+.step`, which makes it the natural building block for controllers that
+interleave accesses with other machinery (swapping, pre-shifting). Batch
+execution of whole traces goes through the engine backends instead.
 """
 
 from __future__ import annotations
 
-from repro.errors import SimulationError
-from repro.rtm.ports import PortPolicy, port_positions, select_port
+from repro.engine.semantics import PortPolicy, port_positions, step
 
 
 class DBCState:
@@ -42,31 +47,15 @@ class DBCState:
         the cost convention fixed by the paper's Fig. 3 arithmetic; without
         it the initial alignment from offset 0 is charged like any other.
         """
-        if not 0 <= location < self.domains:
-            raise SimulationError(
-                f"location {location} outside track of {self.domains} domains"
-            )
-        first = not self.aligned
-        _port, delta = select_port(self.positions, self.offset, location, policy)
-        self.offset += delta
-        if first and warm_start:
-            delta = 0  # track is modelled as pre-positioned: free alignment
+        self.offset, cost = step(
+            self.positions, self.domains, self.offset, self.aligned,
+            location, policy, warm_start,
+        )
         self.aligned = True
-        cost = abs(delta)
         self.shifts += cost
         self.accesses += 1
         self.max_excursion = max(self.max_excursion, abs(self.offset))
-        self._check_envelope()
         return cost
-
-    def _check_envelope(self) -> None:
-        # offset = location - port_position with both in [0, K-1], so any
-        # reachable state satisfies |offset| <= K-1.
-        if abs(self.offset) > self.domains - 1:
-            raise SimulationError(
-                f"track offset {self.offset} exceeds physical envelope "
-                f"for {self.domains} domains"
-            )
 
     def reset(self) -> None:
         self.offset = 0

@@ -1,75 +1,13 @@
 """Access-port placement and selection policies.
 
-A nanotrack with ``p`` ports has them spread evenly along its ``K``
-domains; all tracks of a DBC shift in lock-step (Sec. II-A), so port
-geometry is a per-DBC property. The *selection policy* decides which port
-serves an access; the paper's generalized placement works for any count,
-and the simulator's ``nearest`` policy is the standard minimal-shift
-controller behaviour (as in RTSim).
+The definitions live in :mod:`repro.engine.semantics` — the engine is the
+single source of truth for shift semantics — and are re-exported here
+because port geometry is naturally part of the architecture-model
+vocabulary (``repro.rtm``) and this was their historical home.
 """
 
 from __future__ import annotations
 
-from enum import Enum
+from repro.engine.semantics import PortPolicy, port_positions, select_port
 
-from repro.errors import GeometryError
-
-
-class PortPolicy(str, Enum):
-    """How the controller picks a port for an access."""
-
-    #: Use whichever port needs the fewest shifts (RTSim default).
-    NEAREST = "nearest"
-    #: Always use port 0 (pessimistic single-port-equivalent behaviour).
-    STATIC = "static"
-
-    def __str__(self) -> str:  # pragma: no cover - cosmetic
-        return self.value
-
-
-def port_positions(domains: int, ports: int) -> tuple[int, ...]:
-    """Domain indices of ``ports`` evenly spread ports on a ``domains`` track.
-
-    Ports sit at the centres of equal-length segments: one port on a
-    64-domain track sits at 32; two ports at 16 and 48. This mirrors the
-    overlapped-region layout of multi-port RTM proposals.
-    """
-    if domains < 1:
-        raise GeometryError(f"domains must be >= 1, got {domains}")
-    if not 1 <= ports <= domains:
-        raise GeometryError(
-            f"ports must be in [1, {domains}], got {ports}"
-        )
-    positions = []
-    for j in range(ports):
-        pos = (2 * j + 1) * domains // (2 * ports)
-        positions.append(min(pos, domains - 1))
-    if len(set(positions)) != len(positions):
-        raise GeometryError(
-            f"{ports} ports on {domains} domains collide at {positions}"
-        )
-    return tuple(positions)
-
-
-def select_port(
-    positions: tuple[int, ...],
-    offset: int,
-    location: int,
-    policy: PortPolicy = PortPolicy.NEAREST,
-) -> tuple[int, int]:
-    """Choose a port for accessing ``location`` given the track ``offset``.
-
-    The track's current shift offset ``offset`` means the domain under
-    port ``j`` is ``positions[j] + offset``. Returns ``(port_index,
-    signed_shift)`` where ``signed_shift`` is added to the offset to align
-    ``location`` under the chosen port (its absolute value is the shift
-    count).
-    """
-    if policy is PortPolicy.STATIC:
-        return 0, location - positions[0] - offset
-    best_j, best_delta = 0, location - positions[0] - offset
-    for j in range(1, len(positions)):
-        delta = location - positions[j] - offset
-        if abs(delta) < abs(best_delta):
-            best_j, best_delta = j, delta
-    return best_j, best_delta
+__all__ = ["PortPolicy", "port_positions", "select_port"]

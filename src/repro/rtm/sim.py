@@ -2,7 +2,9 @@
 
 ``simulate`` runs one trace under one placement; ``simulate_program`` runs
 a whole benchmark program (each access sequence independently, as in the
-offset-assignment methodology) and sums the reports.
+offset-assignment methodology) and sums the reports. Both accept a
+``backend`` selecting the shift-engine implementation (vectorized numpy
+by default; ``"reference"`` for the per-access oracle loop).
 """
 
 from __future__ import annotations
@@ -24,11 +26,12 @@ def simulate(
     params: MemoryParams | None = None,
     port_policy: PortPolicy = PortPolicy.NEAREST,
     warm_start: bool = True,
+    backend: object = None,
 ) -> SimReport:
     """Simulate a single trace; see :class:`RTMController` for semantics."""
     controller = RTMController(
         config, placement, params=params, port_policy=port_policy,
-        warm_start=warm_start,
+        warm_start=warm_start, backend=backend,
     )
     return controller.execute(trace)
 
@@ -39,6 +42,7 @@ def simulate_program(
     params: MemoryParams | None = None,
     port_policy: PortPolicy = PortPolicy.NEAREST,
     warm_start: bool = True,
+    backend: object = None,
 ) -> SimReport:
     """Simulate ``(trace, placement)`` pairs independently and sum reports.
 
@@ -50,7 +54,7 @@ def simulate_program(
     for trace, placement in pairs:
         report = simulate(
             trace, placement, config, params=params,
-            port_policy=port_policy, warm_start=warm_start,
+            port_policy=port_policy, warm_start=warm_start, backend=backend,
         )
         total = report if total is None else total + report
     if total is None:

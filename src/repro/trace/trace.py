@@ -86,6 +86,11 @@ class MemoryTrace:
             return NotImplemented
         return self._seq == other._seq and np.array_equal(self._writes, other._writes)
 
+    def __hash__(self) -> int:
+        # Immutable (frozen mask, immutable sequence), so hashing by
+        # content is sound; lets traces key the engine's compile caches.
+        return hash((self._seq, self._writes.tobytes()))
+
     # -- accessors -----------------------------------------------------------
 
     @property

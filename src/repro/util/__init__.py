@@ -7,12 +7,13 @@ from repro.util.mathx import (
     percent_improvement,
     safe_div,
 )
-from repro.util.rng import ensure_rng, spawn_rng
+from repro.util.rng import ensure_rng, spawn_rng, spawn_seeds
 from repro.util.tables import format_table, format_markdown_table
 
 __all__ = [
     "ensure_rng",
     "spawn_rng",
+    "spawn_seeds",
     "geometric_mean",
     "improvement_factor",
     "normalize_to",

@@ -28,6 +28,20 @@ def ensure_rng(rng: int | np.random.Generator | None) -> np.random.Generator:
     raise TypeError(f"expected seed, Generator or None, got {type(rng).__name__}")
 
 
+def spawn_seeds(rng: np.random.Generator, count: int) -> list[int]:
+    """Derive ``count`` independent child seeds from ``rng``.
+
+    ``ensure_rng(seed)`` on each yields exactly the generators
+    :func:`spawn_rng` would hand out, so seeds can cross process
+    boundaries (the parallel matrix runner) while staying bit-identical
+    to in-process streams.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    seeds = rng.integers(0, 2**63 - 1, size=count, dtype=np.int64)
+    return [int(s) for s in seeds]
+
+
 def spawn_rng(rng: np.random.Generator, count: int) -> list[np.random.Generator]:
     """Derive ``count`` independent child generators from ``rng``.
 
@@ -35,7 +49,4 @@ def spawn_rng(rng: np.random.Generator, count: int) -> list[np.random.Generator]
     subsets of an experiment matrix yields the same per-cell results as
     running the full matrix.
     """
-    if count < 0:
-        raise ValueError("count must be non-negative")
-    seeds = rng.integers(0, 2**63 - 1, size=count, dtype=np.int64)
-    return [np.random.default_rng(int(s)) for s in seeds]
+    return [np.random.default_rng(s) for s in spawn_seeds(rng, count)]

@@ -6,7 +6,9 @@ from repro.core.policies import get_policy
 from repro.eval.profiles import EvalProfile
 from repro.eval.runner import (
     build_policies,
+    clear_cell_cache,
     load_suite,
+    policy_specs,
     run_matrix,
     run_policy_on_program,
 )
@@ -73,3 +75,105 @@ class TestBuildPolicies:
     def test_load_suite_respects_benchmark_list(self):
         suite = load_suite(TINY)
         assert [b.name for b in suite] == ["adpcm", "dct"]
+
+    def test_specs_are_picklable_recipes(self):
+        import pickle
+        specs = policy_specs(("GA", "RW", "DMA-SR"), TINY)
+        assert specs == [
+            ("GA", {"mu": 6, "lam": 6, "generations": 3}),
+            ("RW", {"iterations": 20}),
+            ("DMA-SR", {}),
+        ]
+        rebuilt = [get_policy(n, **kw) for n, kw in pickle.loads(
+            pickle.dumps(specs))]
+        assert [p.name for p in rebuilt] == ["GA", "RW", "DMA-SR"]
+
+
+class TestParallelMatrix:
+    CONFIGS = iso_capacity_sweep(dbc_counts=(2, 4))
+    # GA/RW exercise the per-cell RNG streams; DMA-SR the deterministic path.
+    POLICIES = ("DMA-SR", "GA", "RW")
+
+    def test_workers_do_not_change_results(self):
+        serial = run_matrix(self.POLICIES, TINY, configs=self.CONFIGS,
+                            workers=1, use_cache=False)
+        parallel = run_matrix(self.POLICIES, TINY, configs=self.CONFIGS,
+                              workers=4, use_cache=False)
+        assert set(serial) == set(parallel)
+        for key, cell in serial.items():
+            other = parallel[key]
+            assert other.shifts == cell.shifts
+            assert other.report == cell.report  # bit-identical, floats too
+
+    def test_backends_agree_through_the_matrix(self):
+        ref = run_matrix(("DMA-SR",), TINY, configs=self.CONFIGS,
+                         backend="reference", use_cache=False)
+        vec = run_matrix(("DMA-SR",), TINY, configs=self.CONFIGS,
+                         backend="numpy", use_cache=False)
+        for key, cell in ref.items():
+            assert vec[key].shifts == cell.shifts
+            assert vec[key].report == cell.report
+
+    def test_workers_zero_means_all_cores(self):
+        cells = run_matrix(("DMA-SR",), TINY,
+                           configs=iso_capacity_sweep(dbc_counts=(2,)),
+                           workers=0, use_cache=False)
+        assert len(cells) == 2
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ValueError):
+            run_matrix(("DMA-SR",), TINY, configs=self.CONFIGS, workers=-1)
+
+
+class TestCellCache:
+    CONFIGS = iso_capacity_sweep(dbc_counts=(2,))
+
+    def test_repeat_runs_served_from_cache(self, monkeypatch):
+        clear_cell_cache()
+        first = run_matrix(("DMA-SR", "GA"), TINY, configs=self.CONFIGS,
+                           use_cache=True)
+
+        def boom(*args, **kwargs):  # any recomputation is a cache miss
+            raise AssertionError("cell recomputed despite cache")
+
+        monkeypatch.setattr("repro.eval.runner.run_policy_on_program", boom)
+        again = run_matrix(("DMA-SR", "GA"), TINY, configs=self.CONFIGS,
+                           use_cache=True)
+        assert set(again) == set(first)
+        for key, cell in first.items():
+            assert again[key].report == cell.report
+
+    def test_deterministic_cells_shared_across_matrix_shapes(self, monkeypatch):
+        # Policy subsets reshuffle seed streams; deterministic cells must
+        # still hit (their key omits the seed), stochastic ones must not.
+        clear_cell_cache()
+        run_matrix(("DMA-SR", "GA"), TINY, configs=self.CONFIGS,
+                   use_cache=True)
+        calls = []
+        import repro.eval.runner as runner_module
+        real = run_policy_on_program
+
+        def spy(program, policy, config, rng=None, backend=None):
+            calls.append(policy.name)
+            return real(program, policy, config, rng=rng, backend=backend)
+
+        monkeypatch.setattr(runner_module, "run_policy_on_program", spy)
+        run_matrix(("AFD-OFU", "DMA-SR"), TINY, configs=self.CONFIGS,
+                   use_cache=True)
+        assert "DMA-SR" not in calls  # reused despite the new matrix shape
+        assert "AFD-OFU" in calls
+
+    def test_cache_can_be_bypassed(self, monkeypatch):
+        clear_cell_cache()
+        run_matrix(("DMA-SR",), TINY, configs=self.CONFIGS, use_cache=True)
+        calls = []
+        import repro.eval.runner as runner_module
+        real = run_policy_on_program
+
+        def spy(*args, **kwargs):
+            calls.append(1)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(runner_module, "run_policy_on_program", spy)
+        run_matrix(("DMA-SR",), TINY, configs=self.CONFIGS, use_cache=False)
+        assert calls  # recomputed
