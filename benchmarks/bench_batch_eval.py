@@ -1,0 +1,246 @@
+#!/usr/bin/env python
+"""Micro-benchmark: batched vs per-candidate placement scoring.
+
+PR 1 vectorized single-placement trace replay; after it, search cost —
+scoring thousands of candidate placements one at a time — dominated the
+search-based policies. This benchmark tracks the two scoring paths the
+batched-evaluation layer replaced:
+
+* **population** — score a GA-sized population of complete placements.
+  Baseline: the scalar per-candidate path the pre-refactor local-search
+  and enumeration loops used (build a :class:`Placement`, call
+  ``shift_cost``). Batched: stack the candidates into ``(K, V)``
+  code-indexed arrays and score them through one
+  :func:`repro.engine.evaluate_batch` pass — the stacking cost is
+  *inside* the timed region, as the searchers pay it per generation.
+* **generation** — the GA's own pre/post comparison: per-individual
+  Python buffer fill + ``cost_from_arrays`` (the deleted ``fitness``
+  loop) vs stacking + one batch pass. Reported for tracking, not gated
+  (the kernel work is identical; the win is per-candidate overhead).
+* **neighbor** — price transposition moves on one candidate (the
+  annealing/2-opt inner loop). Baseline: full rescoring through the
+  scalar array kernel per move. Incremental:
+  :meth:`repro.engine.DeltaCost.swap_delta`, which touches only the
+  access pairs incident to the two swapped variables.
+
+Results go to ``BENCH_batch.json`` so the performance trajectory is
+tracked from PR to PR; the script exits non-zero when either speedup
+falls below ``--min-speedup`` so CI can gate on it.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_batch_eval.py
+    PYTHONPATH=src python benchmarks/bench_batch_eval.py \
+        --population 400 --accesses 4000 --out results/BENCH_batch.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.cost import (
+    cost_from_arrays,
+    shift_cost,
+    stack_placement_lists,
+)
+from repro.core.placement import Placement
+from repro.engine import (
+    DeltaCost,
+    clear_compile_caches,
+    evaluate_batch,
+    stack_candidate_arrays,
+)
+from repro.trace.generators.synthetic import zipf_sequence
+
+
+def random_candidates(sequence, num_dbcs: int, population: int, rng):
+    """GA-style candidates: random partition + random intra order each."""
+    variables = list(sequence.variables)
+    candidates = []
+    for _ in range(population):
+        assign = rng.integers(0, num_dbcs, len(variables))
+        lists = [[] for _ in range(num_dbcs)]
+        for v in rng.permutation(len(variables)):
+            lists[int(assign[v])].append(variables[int(v)])
+        candidates.append(lists)
+    return candidates
+
+
+def best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    # Defaults mirror the OffsetStone-like suite's median sequence
+    # (~26 variables, ~180-250 accesses at full scale).
+    parser.add_argument("--variables", type=int, default=32)
+    parser.add_argument("--accesses", type=int, default=250)
+    parser.add_argument("--dbcs", type=int, default=8)
+    parser.add_argument("--population", type=int, default=200,
+                        help="candidates per population pass (the paper's "
+                             "GA scores mu + lambda = 200 per generation)")
+    parser.add_argument("--moves", type=int, default=2000,
+                        help="neighbor transpositions for the delta mode")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--min-speedup", type=float, default=5.0,
+                        help="fail below this speedup on either mode "
+                             "(0 disables)")
+    parser.add_argument("--out", default="BENCH_batch.json")
+    args = parser.parse_args(argv)
+
+    rng = np.random.default_rng(args.seed)
+    sequence = zipf_sequence(args.variables, args.accesses, rng=args.seed)
+    candidates = random_candidates(sequence, args.dbcs, args.population, rng)
+    codes = sequence.codes
+    num_vars = sequence.num_variables
+    index_of = sequence.index_of
+
+    # -- population scoring --------------------------------------------------
+    def scalar_population():
+        # The pre-refactor search-loop path: one Placement + one scalar
+        # shift_cost call per candidate. The compile cache is cleared so
+        # repeats do not amortize it (search loops never see the same
+        # candidate twice either).
+        clear_compile_caches()
+        return [shift_cost(sequence, Placement(lists)) for lists in candidates]
+
+    def batched_population():
+        # Stacking is part of the timed path: searchers rebuild the
+        # candidate matrices every generation.
+        dbc_of, pos_of = stack_placement_lists(sequence, candidates)
+        return evaluate_batch(codes, dbc_of, pos_of, num_dbcs=args.dbcs)
+
+    expected = scalar_population()
+    assert list(batched_population()) == expected  # same numbers, always
+    t_scalar = best_of(scalar_population, args.repeats)
+    t_batch = best_of(batched_population, args.repeats)
+    population_row = {
+        "mode": "population",
+        "candidates": args.population,
+        "scalar_s": t_scalar,
+        "batch_s": t_batch,
+        "scalar_candidates_per_s": args.population / t_scalar,
+        "batch_candidates_per_s": args.population / t_batch,
+        "speedup": t_scalar / t_batch,
+    }
+
+    # -- GA generation scoring (pre/post fitness path, informational) --------
+    code_candidates = [
+        [[index_of(v) for v in dbc] for dbc in lists] for lists in candidates
+    ]
+
+    def old_fitness_loop():
+        # The deleted GeneticPlacer.fitness: per-variable Python buffer
+        # fill, then the scalar array kernel, per individual.
+        dbc_buf = np.zeros(num_vars, dtype=np.int64)
+        pos_buf = np.zeros(num_vars, dtype=np.int64)
+        out = []
+        for ind in code_candidates:
+            for i, dbc in enumerate(ind):
+                for k, v in enumerate(dbc):
+                    dbc_buf[v] = i
+                    pos_buf[v] = k
+            out.append(cost_from_arrays(codes, dbc_buf, pos_buf, args.dbcs))
+        return out
+
+    def new_generation_pass():
+        # GA individuals are already code lists; no name mapping occurs.
+        dbc_of, pos_of = stack_candidate_arrays(code_candidates, num_vars)
+        return evaluate_batch(codes, dbc_of, pos_of, num_dbcs=args.dbcs)
+
+    assert old_fitness_loop() == list(new_generation_pass())
+    t_old = best_of(old_fitness_loop, args.repeats)
+    t_new = best_of(new_generation_pass, args.repeats)
+    generation_row = {
+        "mode": "generation",
+        "candidates": args.population,
+        "scalar_s": t_old,
+        "batch_s": t_new,
+        "speedup": t_old / t_new,
+        "gated": False,
+    }
+
+    # -- neighbor-move pricing -----------------------------------------------
+    moves = [
+        (int(a), int(b))
+        for a, b in (
+            rng.choice(sequence.num_variables, 2, replace=False)
+            for _ in range(args.moves)
+        )
+    ]
+    base_dbc, base_pos = stack_placement_lists(sequence, candidates[:1])
+    base_dbc, base_pos = base_dbc[0], base_pos[0]
+
+    def full_rescore():
+        pos = base_pos.copy()
+        total = 0
+        for u, v in moves:
+            pos[u], pos[v] = pos[v], pos[u]
+            total += cost_from_arrays(codes, base_dbc, pos, args.dbcs)
+            pos[u], pos[v] = pos[v], pos[u]
+        return total
+
+    def delta_rescore():
+        evaluator = DeltaCost(codes, base_dbc, base_pos)
+        base = evaluator.cost
+        return sum(base + evaluator.swap_delta(u, v) for u, v in moves)
+
+    assert full_rescore() == delta_rescore()  # exact agreement per move
+    t_full = best_of(full_rescore, args.repeats)
+    t_delta = best_of(delta_rescore, args.repeats)
+    neighbor_row = {
+        "mode": "neighbor",
+        "moves": args.moves,
+        "full_s": t_full,
+        "delta_s": t_delta,
+        "full_moves_per_s": args.moves / t_full,
+        "delta_moves_per_s": args.moves / t_delta,
+        "speedup": t_full / t_delta,
+    }
+
+    for row in (population_row, generation_row, neighbor_row):
+        print(f"{row['mode']}: speedup {row['speedup']:.1f}x")
+    payload = {
+        "benchmark": "batched_candidate_evaluation",
+        "variables": args.variables,
+        "accesses": args.accesses,
+        "dbcs": args.dbcs,
+        "repeats": args.repeats,
+        "results": [population_row, generation_row, neighbor_row],
+    }
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {out}")
+
+    if args.min_speedup:
+        failures = [
+            row["mode"]
+            for row in (population_row, neighbor_row)
+            if row["speedup"] < args.min_speedup
+        ]
+        if failures:
+            print(
+                f"FAIL: {', '.join(failures)} below required "
+                f"{args.min_speedup}x",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

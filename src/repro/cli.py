@@ -9,6 +9,7 @@
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 from collections.abc import Sequence
 from dataclasses import replace
@@ -177,12 +178,19 @@ def main_experiment(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--workers", type=int, default=None,
                         help="matrix-runner processes (default: profile / "
                              "REPRO_WORKERS; 0 = all cores)")
+    parser.add_argument("--search-scale", type=float, default=None,
+                        help="multiply the GA population and RW iteration "
+                             "budgets (default: profile / REPRO_SEARCH_SCALE)")
     args = parser.parse_args(argv)
     profile = profile_from_env()
     if args.backend is not None:
         profile = replace(profile, engine_backend=args.backend)
     if args.workers is not None:
         profile = replace(profile, workers=args.workers)
+    if args.search_scale is not None:
+        if not math.isfinite(args.search_scale) or args.search_scale <= 0:
+            parser.error("--search-scale must be a finite number > 0")
+        profile = replace(profile, search_scale=args.search_scale)
     result = _EXPERIMENTS[args.experiment](profile)
     print(render_experiment(result, max_rows=args.max_rows))
     if args.save:

@@ -22,12 +22,16 @@ from __future__ import annotations
 
 import numpy as np
 
+from collections.abc import Sequence
+
 from repro.core.placement import Placement
 from repro.engine import (
     ShiftRequest,
+    evaluate_batch,
     get_backend,
     port_positions,
     single_port_warm_total,
+    stack_candidate_arrays,
 )
 from repro.engine.compile import compile_access_arrays
 from repro.errors import PlacementError
@@ -127,12 +131,64 @@ def cost_from_arrays(
     pos_of: np.ndarray,
     num_dbcs: int,
 ) -> int:
-    """Raw fast path used by the GA's fitness loop (single port, warm start).
+    """Raw fast path for one candidate (single port, warm start).
 
     ``dbc_of``/``pos_of`` are indexed by variable code, as produced by
     :meth:`Placement.as_arrays`, but callers may build them directly from a
-    mutable individual without constructing a :class:`Placement`.
+    mutable individual without constructing a :class:`Placement`. Scoring
+    whole populations goes through :func:`repro.engine.evaluate_batch`
+    (stack the candidates into ``(K, V)`` matrices) — see
+    :func:`shift_costs_batch` for the :class:`Placement`-level wrapper.
     """
     if codes.size <= 1:
         return 0
     return single_port_warm_total(dbc_of[codes], pos_of[codes])
+
+
+def stack_placement_lists(
+    sequence: AccessSequence,
+    candidates: Sequence[Sequence[Sequence[str]]],
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(K, V)`` candidate matrices from per-DBC variable-*name* lists.
+
+    The sequence-aware twin of
+    :func:`repro.engine.stack_candidate_arrays`: each candidate is the
+    searchers' list-of-lists shape with variable names instead of codes.
+    """
+    return stack_candidate_arrays(
+        candidates, sequence.num_variables, code_of=sequence.index_of
+    )
+
+
+def shift_costs_batch(
+    sequence: AccessSequence,
+    placements: Sequence[Placement],
+    ports: int = 1,
+    domains: int | None = None,
+    first_access_free: bool = True,
+) -> np.ndarray:
+    """Per-candidate totals for many placements of one sequence.
+
+    The :class:`Placement`-level view of the engine's batched evaluator:
+    stacks every candidate's code-indexed arrays and scores the whole
+    population in one vectorized pass. All candidates must place every
+    sequence variable. Cold start (``first_access_free=False``) requires
+    ``domains``, matching the simulator's charge exactly (the legacy
+    fill-based guess of :func:`per_dbc_shift_costs` is not replicated
+    here).
+    """
+    placements = list(placements)
+    if not placements:
+        return np.zeros(0, dtype=np.int64)
+    if not first_access_free and domains is None:
+        raise PlacementError("cold-start batch cost needs the track length (domains)")
+    num_dbcs = max(p.num_dbcs for p in placements)
+    n = sequence.num_variables
+    dbc_of = np.empty((len(placements), n), dtype=np.int64)
+    pos_of = np.empty((len(placements), n), dtype=np.int64)
+    for k, placement in enumerate(placements):
+        dbc_of[k], pos_of[k] = placement.as_arrays(sequence)
+    return evaluate_batch(
+        sequence.codes, dbc_of, pos_of, num_dbcs=num_dbcs, domains=domains,
+        ports=ports, warm_start=first_access_free,
+    )

@@ -4,20 +4,31 @@ Finding the optimal placement is NP-complete [2]; the paper approximates
 the optimum with a long GA run. For instances of up to ~8 variables this
 module computes the true optimum by enumerating canonical set partitions
 of the variables over the DBCs (first occupant of each DBC in ascending
-variable order kills the DBC-permutation symmetry) and solving each DBC's
-intra-DBC ordering exactly with the minimum-linear-arrangement DP. Used
-by the test-suite to certify the heuristics' and GA's quality claims.
+variable order kills the DBC-permutation symmetry). Each distinct group
+is ordered once by the exact minimum-linear-arrangement DP (groups recur
+across thousands of partitions, so the orders are memoized), and the
+complete candidate placements are then scored through the engine's
+batched evaluator — one vectorized pass over the whole enumeration
+instead of a per-partition cost loop. Used by the test-suite to certify
+the heuristics' and GA's quality claims.
 """
 
 from __future__ import annotations
 
+import numpy as np
+
+from repro.core.cost import stack_placement_lists
 from repro.core.intra.optimal import optimal_order
-from repro.core.cost import shift_cost
 from repro.core.placement import Placement
+from repro.engine import evaluate_batch
 from repro.errors import SolverError
 from repro.trace.sequence import AccessSequence
 
 MAX_EXACT_TOTAL_VARS = 9
+
+#: Candidate placements scored per batched engine pass (bounds the
+#: K x accesses gather of one evaluate_batch call).
+_SCORE_CHUNK = 4096
 
 
 def exact_optimal_placement(
@@ -44,25 +55,14 @@ def exact_optimal_placement(
             f"{n} variables exceed {num_dbcs} DBCs x {capacity} locations"
         )
 
-    best_cost: int | None = None
-    best_groups: list[list[str]] | None = None
-
+    # Canonical enumeration: variable i joins an existing group or opens
+    # a new one, so each set partition appears exactly once.
+    partitions: list[tuple[tuple[str, ...], ...]] = []
     groups: list[list[str]] = []
 
     def assign(i: int) -> None:
-        nonlocal best_cost, best_groups
         if i == n:
-            cost = 0
-            for group in groups:
-                if len(group) > 1:
-                    local = sequence.restricted_to(group)
-                    order = optimal_order(local, group)
-                    cost += shift_cost(local, Placement([order]))
-                    if best_cost is not None and cost >= best_cost:
-                        return
-            if best_cost is None or cost < best_cost:
-                best_cost = cost
-                best_groups = [list(g) for g in groups]
+            partitions.append(tuple(tuple(g) for g in groups))
             return
         v = variables[i]
         for g in groups:  # existing groups
@@ -76,13 +76,37 @@ def exact_optimal_placement(
             groups.pop()
 
     assign(0)
-    if best_cost is None or best_groups is None:
+    if not partitions:
         raise SolverError("exact search found no feasible placement")
-    ordered = [
-        optimal_order(sequence.restricted_to(g), g) if len(g) > 1 else g
-        for g in best_groups
-    ]
-    while len(ordered) < num_dbcs:
-        ordered.append([])
-    placement = Placement(ordered)
-    return placement, int(best_cost)
+
+    # Groups recur across partitions; order each distinct one exactly once.
+    order_of: dict[tuple[str, ...], list[str]] = {}
+
+    def ordered(group: tuple[str, ...]) -> list[str]:
+        if len(group) <= 1:
+            return list(group)
+        cached = order_of.get(group)
+        if cached is None:
+            cached = optimal_order(sequence.restricted_to(group), list(group))
+            order_of[group] = cached
+        return cached
+
+    codes = sequence.codes
+    best_cost: int | None = None
+    best_index: int | None = None
+    for start in range(0, len(partitions), _SCORE_CHUNK):
+        chunk = partitions[start : start + _SCORE_CHUNK]
+        dbc_of, pos_of = stack_placement_lists(
+            sequence,
+            [[ordered(g) for g in partition] for partition in chunk],
+        )
+        costs = evaluate_batch(codes, dbc_of, pos_of, num_dbcs=num_dbcs)
+        k = int(np.argmin(costs)) if len(chunk) else 0
+        if best_cost is None or int(costs[k]) < best_cost:
+            best_cost = int(costs[k])
+            best_index = start + k
+    assert best_cost is not None and best_index is not None
+    ordered_groups = [list(ordered(g)) for g in partitions[best_index]]
+    while len(ordered_groups) < num_dbcs:
+        ordered_groups.append([])
+    return Placement(ordered_groups), best_cost

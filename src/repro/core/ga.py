@@ -17,12 +17,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.cost import cost_from_arrays
 from repro.core.inter.afd import afd_partition
 from repro.core.inter.dma import dma_partition
 from repro.core.inter.random_inter import random_partition
 from repro.core.intra import chen_order, ofu_order, shifts_reduce_order
 from repro.core.placement import Placement
+from repro.engine import evaluate_batch, stack_candidate_arrays
 from repro.errors import CapacityError, SolverError
 from repro.trace.liveness import Liveness
 from repro.trace.sequence import AccessSequence
@@ -92,10 +92,7 @@ class GeneticPlacer:
         self.config = config or GAConfig()
         self.config.validate()
         self.rng = ensure_rng(rng)
-        n = sequence.num_variables
         self._codes = sequence.codes
-        self._dbc_buf = np.zeros(n, dtype=np.int64)
-        self._pos_buf = np.zeros(n, dtype=np.int64)
         # Crossover cut points index variables in first-appearance order.
         live = Liveness(sequence)
         self._xover_order = [sequence.index_of(v) for v in live.by_first_occurrence()]
@@ -103,15 +100,22 @@ class GeneticPlacer:
 
     # -- fitness ---------------------------------------------------------------
 
+    def score_population(self, individuals: list[Individual]) -> list[int]:
+        """Shift costs of a whole population in one batched engine pass."""
+        if not individuals:
+            return []
+        dbc_of, pos_of = stack_candidate_arrays(
+            individuals, self.sequence.num_variables
+        )
+        costs = evaluate_batch(
+            self._codes, dbc_of, pos_of, num_dbcs=self.num_dbcs
+        )
+        self.evaluations += len(individuals)
+        return [int(c) for c in costs]
+
     def fitness(self, individual: Individual) -> int:
         """Shift cost of an individual (lower is better)."""
-        dbc_of, pos_of = self._dbc_buf, self._pos_buf
-        for i, dbc in enumerate(individual):
-            for k, v in enumerate(dbc):
-                dbc_of[v] = i
-                pos_of[v] = k
-        self.evaluations += 1
-        return cost_from_arrays(self._codes, dbc_of, pos_of, self.num_dbcs)
+        return self.score_population([individual])[0]
 
     # -- individuals -------------------------------------------------------------
 
@@ -148,9 +152,9 @@ class GeneticPlacer:
         n = len(self._xover_order)
         if n < 2:
             return [list(d) for d in parent_a], [list(d) for d in parent_b]
-        f = int(self.rng.integers(0, n - 1))
-        l = int(self.rng.integers(f + 1, n))
-        swap = set(self._xover_order[f : l + 1])
+        first = int(self.rng.integers(0, n - 1))
+        last = int(self.rng.integers(first + 1, n))
+        swap = set(self._xover_order[first : last + 1])
         child_a = [list(d) for d in parent_a]
         child_b = [list(d) for d in parent_b]
         in_a = {v: i for i, dbc in enumerate(parent_a) for v in dbc}
@@ -246,7 +250,7 @@ class GeneticPlacer:
         while len(population) < cfg.mu:
             population.append(self.random_individual())
         population = population[: cfg.mu]
-        scored = [(self.fitness(ind), ind) for ind in population]
+        scored = list(zip(self.score_population(population), population))
         best_cost, best = min(scored, key=lambda t: t[0])
         best = [list(d) for d in best]
         history = [best_cost]
@@ -254,16 +258,20 @@ class GeneticPlacer:
         generations_run = 0
         for _gen in range(cfg.generations):
             generations_run += 1
-            offspring: list[tuple[int, Individual]] = []
-            while len(offspring) < cfg.lam:
+            # Generate the whole brood first (fitness consumes no RNG, so
+            # deferring evaluation leaves the random stream untouched),
+            # then score the generation in one batched engine pass.
+            children: list[Individual] = []
+            while len(children) < cfg.lam:
                 pa = self._tournament(scored)
                 pb = self._tournament(scored)
                 for child in self.crossover(pa, pb):
                     if self.rng.random() < cfg.mutation_rate:
                         child = self.mutate(child)
-                    offspring.append((self.fitness(child), child))
-                    if len(offspring) >= cfg.lam:
+                    children.append(child)
+                    if len(children) >= cfg.lam:
                         break
+            offspring = list(zip(self.score_population(children), children))
             pool = scored + offspring
             scored = [
                 (c, [list(d) for d in ind])

@@ -13,8 +13,9 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
-from repro.core.placement import Placement
-from repro.core.cost import shift_cost
+import numpy as np
+
+from repro.engine import evaluate_batch
 from repro.trace.graph import AccessGraph
 from repro.trace.sequence import AccessSequence
 
@@ -98,21 +99,64 @@ def _max_weight_path(local: AccessSequence, variables: list[str]) -> list[str]:
 
 
 def _two_opt(local: AccessSequence, order: list[str]) -> list[str]:
-    def cost_of(o: list[str]) -> int:
-        return shift_cost(local, Placement([o]))
+    """First-improvement 2-opt, scoring whole candidate rows per batch.
 
-    best = list(order)
-    best_cost = cost_of(best)
-    n = len(best)
+    Semantically identical to evaluating each ``(i, j)`` reversal one at
+    a time (candidates are rebuilt from the updated order after every
+    accepted move), but all reversals sharing a cut point ``i`` are
+    scored through one :func:`~repro.engine.evaluate_batch` call, so the
+    per-candidate engine overhead is paid once per row, not per move.
+    """
+    n = len(order)
+    codes = local.codes
+    code_of = np.fromiter(
+        (local.index_of(v) for v in order), dtype=np.int64, count=n
+    )
+    dbc_of = np.zeros((1, local.num_variables), dtype=np.int64)
+
+    def positions(perm: np.ndarray) -> np.ndarray:
+        pos = np.empty(local.num_variables, dtype=np.int64)
+        pos[perm] = np.arange(n)
+        return pos
+
+    best = code_of.copy()
+    best_cost = int(
+        evaluate_batch(codes, dbc_of, positions(best)[None, :], num_dbcs=1)[0]
+    )
+    # One reusable all-DBC-0 matrix for every batch in the inner loop.
+    dbc_rows = np.zeros((max(n - 1, 1), local.num_variables), dtype=np.int64)
     for _ in range(_TWO_OPT_MAX_PASSES):
         improved = False
         for i in range(n - 1):
-            for j in range(i + 1, n):
-                candidate = best[:i] + best[i : j + 1][::-1] + best[j + 1 :]
-                c = cost_of(candidate)
-                if c < best_cost:
-                    best, best_cost = candidate, c
-                    improved = True
+            j = i + 1
+            while j < n:
+                # Score every remaining reversal of this row against the
+                # current order in one batch, then accept the first
+                # improvement — exactly the sequential scan's choice.
+                js = np.arange(j, n)
+                # The scatter below writes every element (each row's cols
+                # is a full permutation), so no initial fill is needed.
+                pos = np.empty((js.size, n), dtype=np.int64)
+                row = np.arange(js.size)[:, None]
+                spans = np.arange(n)[None, :]
+                rev = (spans >= i) & (spans <= js[:, None])
+                cols = np.where(rev, i + js[:, None] - spans, spans)
+                pos[row, best[cols]] = spans
+                costs = evaluate_batch(
+                    codes, dbc_rows[: js.size], pos, num_dbcs=1
+                )
+                better = np.flatnonzero(costs < best_cost)
+                if better.size == 0:
+                    break
+                pick = int(better[0])
+                jj = int(js[pick])
+                best = np.concatenate(
+                    [best[:i], best[i : jj + 1][::-1], best[jj + 1 :]]
+                )
+                best_cost = int(costs[pick])
+                improved = True
+                j = jj + 1
         if not improved:
             break
-    return best
+    variables = local.variables
+    return [variables[c] for c in best]

@@ -17,12 +17,22 @@ test matrix). Select one globally via the ``REPRO_BACKEND`` environment
 variable, or per call site via the ``backend=`` parameters threaded
 through :func:`repro.rtm.sim.simulate`, :func:`repro.core.cost.shift_cost`
 and :func:`repro.eval.runner.run_matrix`.
+
+On top of the per-request backends, :mod:`repro.engine.batch` scores
+whole *populations* of candidate placements (:func:`evaluate_batch`) and
+prices neighbor moves incrementally (:class:`DeltaCost`) — the layer the
+search-based placement algorithms are built on.
 """
 
 from __future__ import annotations
 
 import os
 
+from repro.engine.batch import (
+    DeltaCost,
+    evaluate_batch,
+    stack_candidate_arrays,
+)
 from repro.engine.compile import (
     clear_compile_caches,
     compile_access_arrays,
@@ -74,6 +84,7 @@ def get_backend(backend: object = None):
 
 __all__ = [
     "DEFAULT_BACKEND",
+    "DeltaCost",
     "NumpyBackend",
     "PortPolicy",
     "ReferenceBackend",
@@ -82,10 +93,12 @@ __all__ = [
     "available_backends",
     "clear_compile_caches",
     "compile_access_arrays",
+    "evaluate_batch",
     "get_backend",
     "port_positions",
     "select_port",
     "single_port_warm_total",
+    "stack_candidate_arrays",
     "step",
     "trace_fingerprint",
 ]

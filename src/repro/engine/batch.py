@@ -1,0 +1,447 @@
+"""Batched candidate evaluation: score whole placement populations at once.
+
+Search-based placement (GA, random walk, annealing, 2-opt polishing)
+evaluates thousands of candidate placements against *one* trace. Scoring
+them one at a time through the scalar cost path leaves most of the work
+in per-candidate Python overhead; this module scores a ``(K, V)`` matrix
+of candidates in a single vectorized pass instead:
+
+* :func:`evaluate_batch` — the population scorer. Candidates are given
+  as stacked ``dbc_of``/``pos_of`` arrays indexed by variable code (the
+  same encoding :meth:`Placement.as_arrays` produces); the trace is the
+  shared ``codes`` array. One gather (``dbc_of[:, codes]``) yields every
+  candidate's per-access arrays, and the per-DBC grouping is resolved
+  with one row-wise stable argsort — no per-candidate Python.
+* :class:`DeltaCost` — the incremental evaluator for neighbor moves.
+  Local search mutates a candidate slightly (transpose two variables,
+  reorder a segment); recomputing the full trace cost per move is
+  O(trace), but under a *fixed partition* the warm-start single-port
+  cost is a weighted sum over per-DBC adjacent access pairs, so a move
+  only re-prices the pairs touching the moved variables: O(touched).
+
+Both agree exactly — integer arithmetic throughout — with scoring each
+candidate through the reference backend, which the equivalence tests
+enforce.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.semantics import PortPolicy, port_positions
+from repro.engine.types import ShiftRequest
+from repro.errors import SimulationError
+
+__all__ = ["DeltaCost", "evaluate_batch", "stack_candidate_arrays"]
+
+
+def stack_candidate_arrays(
+    candidates, num_vars: int, code_of=None
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(K, V)`` DBC/slot matrices from per-DBC lists of variable codes.
+
+    Each candidate is a complete placement as nested lists —
+    ``candidate[d]`` holds the variable codes of DBC ``d`` in slot
+    order, every code in ``[0, num_vars)`` appearing exactly once.
+    ``code_of`` optionally maps list entries to codes during the flatten
+    (e.g. a sequence's ``index_of`` when candidates hold variable
+    names), avoiding an intermediate converted copy.
+    This is the one encoding step between the searchers' list-of-lists
+    individuals and :func:`evaluate_batch`. The whole population is
+    flattened in one pass and scattered with a constant number of numpy
+    calls — per-candidate calls would cost more than the interpreted
+    fill they replace on realistic (tens of variables) instances.
+    """
+    k = len(candidates)
+    dbc_of = np.empty((k, num_vars), dtype=np.int64)
+    # Poison-filled so an incomplete candidate is caught below instead of
+    # scoring leftover heap contents (a duplicate code necessarily leaves
+    # another cell unwritten — the element counts match by construction).
+    pos_of = np.full((k, num_vars), -1, dtype=np.int64)
+    if k == 0:
+        return dbc_of, pos_of
+    # Per-list bookkeeping over the flattened population: which slot run
+    # each element falls in, and that list's DBC index in its candidate.
+    lists_per = np.fromiter(
+        (len(lists) for lists in candidates), dtype=np.int64, count=k
+    )
+    sizes = np.fromiter(
+        (len(d) for lists in candidates for d in lists),
+        dtype=np.int64,
+        count=int(lists_per.sum()),
+    )
+    flat = (
+        (c for lists in candidates for d in lists for c in d)
+        if code_of is None
+        else (code_of(c) for lists in candidates for d in lists for c in d)
+    )
+    codes = np.fromiter(flat, dtype=np.int64, count=k * num_vars)
+    list_index = np.arange(lists_per.sum(), dtype=np.int64)
+    candidate_start = np.repeat(np.cumsum(lists_per) - lists_per, lists_per)
+    dbc_vals = np.repeat(list_index - candidate_start, sizes)
+    element_index = np.arange(k * num_vars, dtype=np.int64)
+    pos_vals = element_index - np.repeat(np.cumsum(sizes) - sizes, sizes)
+    # Every candidate contributes exactly num_vars elements, so the flat
+    # scatter target is row * num_vars + code.
+    target = element_index // num_vars * num_vars + codes
+    dbc_of.ravel()[target] = dbc_vals
+    pos_of.ravel()[target] = pos_vals
+    if int(pos_of.min()) < 0:
+        bad = int(np.argmin(pos_of.min(axis=1)))
+        raise SimulationError(
+            f"candidate {bad} is not a complete placement of "
+            f"{num_vars} variables (a code is missing or duplicated)"
+        )
+    return dbc_of, pos_of
+
+
+def _as_candidate_matrix(arr, name: str) -> np.ndarray:
+    out = np.ascontiguousarray(arr, dtype=np.int64)
+    if out.ndim == 1:
+        out = out[None, :]
+    if out.ndim != 2:
+        raise SimulationError(f"{name} must be a (K, V) matrix, got shape {out.shape}")
+    return out
+
+
+#: Row-chunk bound keeping the flattened ``row * num_dbcs + dbc`` sort key
+#: within uint16, where numpy's stable sort is a radix sort — the same
+#: narrow-key trick as the 1-D kernel, applied to the whole population.
+_FLAT_KEY_LIMIT = 0xFFFF + 1
+
+#: Element budget per flattened sort chunk (cache-resident working set).
+_FLAT_CHUNK_ELEMENTS = 32768
+
+#: Trace length above which the population is scored row by row instead
+#: of through the flattened sort. Short traces are dominated by numpy's
+#: per-call setup, which the flat pass pays once for the whole
+#: population; long traces are dominated by the sort itself, where the
+#: per-row radix sorts stay cache-resident and the flat sort does not.
+_FLAT_MAX_ACCESSES = 512
+
+
+def evaluate_batch(
+    codes: np.ndarray,
+    dbc_of: np.ndarray,
+    pos_of: np.ndarray,
+    *,
+    num_dbcs: int,
+    domains: int | None = None,
+    ports: int = 1,
+    policy: PortPolicy = PortPolicy.NEAREST,
+    warm_start: bool = True,
+) -> np.ndarray:
+    """Shift cost of ``K`` candidate placements against one compiled trace.
+
+    ``codes`` is the trace's per-access variable-code array (shape
+    ``(N,)``); ``dbc_of``/``pos_of`` are ``(K, V)`` matrices giving each
+    candidate's DBC index and intra-DBC slot per variable code (a single
+    ``(V,)`` candidate is promoted to ``K=1``). Returns the ``(K,)``
+    int64 per-candidate totals, identical to running each candidate
+    through an engine backend with default (cold, offset-0) initial
+    state.
+
+    The single-port and STATIC paths are fully vectorized over the whole
+    population. The nearest-port multi-port path scores rows through the
+    1-D vectorized kernel (its ``(K, N, ports)`` intermediates would not
+    pay for themselves on realistic population sizes); it is never the
+    population hot path — the searchers all score single-port warm.
+    """
+    codes = np.ascontiguousarray(codes, dtype=np.int64)
+    if codes.ndim != 1:
+        raise SimulationError(f"codes must be 1-D, got shape {codes.shape}")
+    dbc_of = _as_candidate_matrix(dbc_of, "dbc_of")
+    pos_of = _as_candidate_matrix(pos_of, "pos_of")
+    if dbc_of.shape != pos_of.shape:
+        raise SimulationError(
+            f"dbc_of/pos_of shapes differ: {dbc_of.shape} vs {pos_of.shape}"
+        )
+    if num_dbcs < 1:
+        raise SimulationError(f"num_dbcs must be >= 1, got {num_dbcs}")
+    k = dbc_of.shape[0]
+    if k == 0 or codes.size == 0:
+        return np.zeros(k, dtype=np.int64)
+    if codes.min() < 0 or codes.max() >= dbc_of.shape[1]:
+        raise SimulationError(
+            f"codes must lie in [0, {dbc_of.shape[1]}) to index the candidates"
+        )
+    dbc = dbc_of[:, codes]
+    slot = pos_of[:, codes]
+    if int(dbc.min()) < 0 or int(dbc.max()) >= num_dbcs:
+        raise SimulationError(f"dbc indices must lie in [0, {num_dbcs})")
+    lo, hi = int(slot.min()), int(slot.max())
+    if domains is None:
+        if ports > 1:
+            raise SimulationError(
+                "multi-port batch evaluation needs the track length (domains)"
+            )
+        if not warm_start:
+            # The cold-start charge anchors on the track's port position;
+            # inferring the track from the population's max slot would make
+            # one candidate's cost depend on its batchmates.
+            raise SimulationError(
+                "cold-start batch evaluation needs the track length (domains)"
+            )
+        domains = hi + 1
+    if lo < 0 or hi >= domains:
+        bad = lo if lo < 0 else hi
+        raise SimulationError(
+            f"location {bad} outside track of {domains} domains"
+        )
+    if ports == 1 or policy is PortPolicy.STATIC:
+        return _batch_anchored(dbc, slot, num_dbcs, domains, ports, warm_start)
+    return _batch_per_row(dbc, slot, num_dbcs, domains, ports, policy, warm_start)
+
+
+def _batch_anchored(
+    dbc: np.ndarray,
+    slot: np.ndarray,
+    num_dbcs: int,
+    domains: int,
+    ports: int,
+    warm_start: bool,
+) -> np.ndarray:
+    """Single-port / STATIC costs for all rows in one flattened pass.
+
+    The whole population is sorted at once: flattening row-major and
+    stable-sorting by ``row * num_dbcs + dbc`` groups every (candidate,
+    DBC) subsequence contiguously while preserving trace order, so the
+    per-candidate costs are one masked ``diff`` plus a segmented sum —
+    1-D kernels throughout, which numpy executes far faster than their
+    ``axis=1`` counterparts. Rows are chunked to keep the combined key
+    within radix-sort range.
+    """
+    k, n = dbc.shape
+    totals = np.empty(k, dtype=np.int64)
+    if n == 0:
+        totals[:] = 0
+        return totals
+    anchor = port_positions(domains, ports)[0]
+    if n > _FLAT_MAX_ACCESSES:
+        key = dbc.astype(np.uint16) if num_dbcs <= 0xFFFF + 1 else dbc
+        for i in range(k):
+            order = np.argsort(key[i], kind="stable")
+            ds = key[i][order]
+            ss = slot[i][order]
+            same = ds[1:] == ds[:-1]
+            total = int(np.abs(np.diff(ss))[same].sum())
+            if not warm_start:
+                first = np.empty(n, dtype=bool)
+                first[0] = True
+                np.logical_not(same, out=first[1:])
+                total += int(np.abs(ss[first] - anchor).sum())
+            totals[i] = total
+        return totals
+    # Bound both the key width (radix range) and the chunk's element
+    # count — the radix sort's bucket scatter degrades sharply once its
+    # working set falls out of cache.
+    rows_per_chunk = max(
+        1, min(_FLAT_KEY_LIMIT // num_dbcs, _FLAT_CHUNK_ELEMENTS // n)
+    )
+    for start in range(0, k, rows_per_chunk):
+        cd = dbc[start : start + rows_per_chunk]
+        cs = slot[start : start + rows_per_chunk]
+        rows = cd.shape[0]
+        key = (
+            np.arange(rows, dtype=np.int64)[:, None] * num_dbcs + cd
+        ).ravel()
+        key = key.astype(np.uint16) if rows * num_dbcs <= 0xFFFF + 1 else key
+        order = np.argsort(key, kind="stable")
+        ks = key[order]
+        ss = cs.ravel()[order]
+        same = ks[1:] == ks[:-1]  # same candidate AND same DBC
+        move = np.abs(np.diff(ss))
+        move[~same] = 0
+        if n == 1:
+            chunk_totals = np.zeros(rows, dtype=np.int64)
+        else:
+            # Row r occupies the sorted range [r*n, (r+1)*n); its last
+            # pair slot is a masked-out row crossing, so plain n-strided
+            # segments sum exactly the intra-row moves.
+            chunk_totals = np.add.reduceat(
+                move, np.arange(0, rows * n - 1, n)
+            )
+        if not warm_start:
+            # Cold start charges each DBC's first access its alignment
+            # distance from port 0 (default offset-0 initial state).
+            first_cost = np.abs(ss - anchor)
+            np.putmask(first_cost[1:], same, 0)
+            chunk_totals = chunk_totals + np.add.reduceat(
+                first_cost, np.arange(0, rows * n, n)
+            )
+        totals[start : start + rows] = chunk_totals
+    return totals
+
+
+def _batch_per_row(
+    dbc: np.ndarray,
+    slot: np.ndarray,
+    num_dbcs: int,
+    domains: int,
+    ports: int,
+    policy: PortPolicy,
+    warm_start: bool,
+) -> np.ndarray:
+    """Nearest-port rows, each through the 1-D vectorized kernel."""
+    from repro.engine.numpy_backend import NumpyBackend
+
+    backend = NumpyBackend()
+    totals = np.empty(dbc.shape[0], dtype=np.int64)
+    for i in range(dbc.shape[0]):
+        totals[i] = backend.run(
+            ShiftRequest(
+                dbc=dbc[i], slot=slot[i], num_dbcs=num_dbcs, domains=domains,
+                ports=ports, policy=policy, warm_start=warm_start,
+            )
+        ).shifts
+    return totals
+
+
+class DeltaCost:
+    """Incremental warm-start single-port cost under a fixed partition.
+
+    Compiles the trace once into the per-DBC adjacency structure: the
+    warm single-port cost of a placement is ``sum(w_ab * |pos[a] -
+    pos[b]|)`` over the pairs ``(a, b)`` of variables adjacent in some
+    DBC's access subsequence, with ``w_ab`` the number of times they are
+    adjacent. Because the pair structure depends only on the *partition*
+    (which DBC each variable lives in), any intra-DBC reordering can be
+    re-priced by touching just the pairs incident to the moved
+    variables — O(touched accesses) instead of O(trace) per move.
+
+    ``delta`` prices a move without committing it; ``apply`` commits.
+    Moves that change a variable's DBC invalidate the pair structure and
+    are rejected. :meth:`resync` recomputes the total from scratch (the
+    arithmetic is exact integers, so this is a verification hook, not a
+    drift correction).
+
+    The per-move work touches a handful of pairs, where interpreter
+    overhead beats numpy's per-call setup by an order of magnitude — so
+    the adjacency lives in plain lists and the pricing loops are pure
+    Python, with the compiled pair arrays kept only for ``resync``.
+    """
+
+    def __init__(
+        self,
+        codes: np.ndarray,
+        dbc_of: np.ndarray,
+        pos_of: np.ndarray,
+    ) -> None:
+        codes = np.ascontiguousarray(codes, dtype=np.int64)
+        dbc_of = np.ascontiguousarray(dbc_of, dtype=np.int64)
+        pos_of = np.ascontiguousarray(pos_of, dtype=np.int64)
+        if codes.ndim != 1 or dbc_of.ndim != 1 or pos_of.ndim != 1:
+            raise SimulationError("codes/dbc_of/pos_of must be 1-D arrays")
+        if dbc_of.shape != pos_of.shape:
+            raise SimulationError("dbc_of/pos_of must have equal length")
+        self._num_vars = int(dbc_of.size)
+        self._pos: list[int] = pos_of.tolist()
+        a, b, w = self._compile_pairs(codes, dbc_of)
+        self._a, self._b, self._w = a, b, w
+        #: code -> [(neighbour code, adjacency weight)]
+        self._adj: list[list[tuple[int, int]]] = [
+            [] for _ in range(self._num_vars)
+        ]
+        for pa, pb, pw in zip(a.tolist(), b.tolist(), w.tolist()):
+            self._adj[pa].append((pb, pw))
+            self._adj[pb].append((pa, pw))
+        self._total = self.resync()
+
+    @staticmethod
+    def _compile_pairs(
+        codes: np.ndarray, dbc_of: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Weighted per-DBC adjacency pairs of the compiled trace."""
+        num_vars = dbc_of.size
+        if codes.size <= 1:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty.copy(), empty.copy()
+        dbc = dbc_of[codes]
+        narrow = 0 <= int(dbc.min()) and int(dbc.max()) <= 0xFFFF
+        key = dbc.astype(np.uint16) if narrow else dbc
+        order = np.argsort(key, kind="stable")
+        ds = dbc[order]
+        cs = codes[order]
+        same = ds[1:] == ds[:-1]
+        pa, pb = cs[:-1][same], cs[1:][same]
+        distinct = pa != pb  # same-variable pairs cost 0 under any order
+        pa, pb = pa[distinct], pb[distinct]
+        lo = np.minimum(pa, pb)
+        hi = np.maximum(pa, pb)
+        pair_key, w = np.unique(lo * num_vars + hi, return_counts=True)
+        return pair_key // num_vars, pair_key % num_vars, w.astype(np.int64)
+
+    # -- pricing ------------------------------------------------------------
+
+    @property
+    def cost(self) -> int:
+        """The current candidate's total shift cost."""
+        return self._total
+
+    def position_of(self, code: int) -> int:
+        return int(self._pos[code])
+
+    def delta(self, moves: dict[int, int]) -> int:
+        """Cost change of assigning ``{code: new_slot}`` without committing.
+
+        All moved variables must keep their DBC (the pair structure is
+        partition-specific); swapping or permuting slots within DBCs is
+        exactly that.
+        """
+        pos = self._pos
+        d = 0
+        for c, new_c in moves.items():
+            old_c = pos[c]
+            for o, w in self._adj[c]:
+                if o in moves:
+                    if o < c:  # both moved: price the pair once
+                        continue
+                    d += w * (abs(new_c - moves[o]) - abs(old_c - pos[o]))
+                else:
+                    po = pos[o]
+                    d += w * (abs(new_c - po) - abs(old_c - po))
+        return d
+
+    def apply(self, moves: dict[int, int], delta: int | None = None) -> int:
+        """Commit ``{code: new_slot}`` and return the new total.
+
+        Pass the ``delta`` already obtained from :meth:`delta` for the
+        same moves to commit without re-pricing (accept loops price
+        first, then commit).
+        """
+        self._total += self.delta(moves) if delta is None else delta
+        for c, new_c in moves.items():
+            self._pos[c] = new_c
+        return self._total
+
+    def swap_delta(self, code_a: int, code_b: int) -> int:
+        """Price transposing two variables' slots (the annealing move)."""
+        pos = self._pos
+        pa, pb = pos[code_a], pos[code_b]
+        d = 0
+        for o, w in self._adj[code_a]:
+            if o != code_b:  # the (a, b) pair's own distance is unchanged
+                po = pos[o]
+                d += w * (abs(pb - po) - abs(pa - po))
+        for o, w in self._adj[code_b]:
+            if o != code_a:
+                po = pos[o]
+                d += w * (abs(pa - po) - abs(pb - po))
+        return d
+
+    def swap(self, code_a: int, code_b: int, delta: int | None = None) -> int:
+        """Commit the transposition and return the new total.
+
+        ``delta`` takes a price already computed by :meth:`swap_delta`
+        for the same pair, skipping the second pricing pass.
+        """
+        self._total += self.swap_delta(code_a, code_b) if delta is None else delta
+        pos = self._pos
+        pos[code_a], pos[code_b] = pos[code_b], pos[code_a]
+        return self._total
+
+    def resync(self) -> int:
+        """Recompute the total from the full pair set (verification hook)."""
+        pos = np.asarray(self._pos, dtype=np.int64)
+        self._total = int((self._w * np.abs(pos[self._a] - pos[self._b])).sum())
+        return self._total

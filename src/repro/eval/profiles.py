@@ -17,10 +17,18 @@ on the profile: ``engine_backend`` picks the shift engine (vectorized
 ``workers`` the process-pool width of the matrix runner; both can be
 forced from the environment with ``REPRO_BACKEND`` / ``REPRO_WORKERS``
 (``REPRO_WORKERS=0`` means "all cores").
+
+``search_scale`` multiplies the search-based policies' budgets — the
+GA's population (``mu``/``lam``) and the random walk's iteration count —
+on top of whatever the profile sets. Batched candidate evaluation made
+bigger populations affordable: scoring is one vectorized engine pass per
+generation, so ``search_scale=4`` costs far less than 4x wall time.
+Force it from the environment with ``REPRO_SEARCH_SCALE``.
 """
 
 from __future__ import annotations
 
+import math
 import os
 from dataclasses import dataclass, field, replace
 
@@ -43,14 +51,19 @@ class EvalProfile:
     engine_backend: str = "numpy"
     #: Process-pool width of the matrix runner (1 = serial, 0 = all cores).
     workers: int = 1
+    #: Multiplier on the GA population and RW iteration budgets (> 0).
+    search_scale: float = 1.0
 
     def describe(self) -> str:
         ga = ", ".join(f"{k}={v}" for k, v in sorted(self.ga_options.items()))
+        scale = (
+            f", search x{self.search_scale:g}" if self.search_scale != 1.0 else ""
+        )
         return (
             f"profile {self.name!r}: {len(self.benchmarks)} benchmarks at "
             f"scale {self.suite_scale}, GA({ga or 'paper defaults'}), "
             f"RW {self.rw_iterations} iters, seed {self.seed}, "
-            f"{self.engine_backend} engine x {self.workers} worker(s)"
+            f"{self.engine_backend} engine x {self.workers} worker(s){scale}"
         )
 
 
@@ -103,4 +116,18 @@ def profile_from_env(default: str = "quick") -> EvalProfile:
             raise ExperimentError(
                 f"REPRO_WORKERS must be an integer, got {workers!r}"
             ) from None
+    search_scale = os.environ.get("REPRO_SEARCH_SCALE")
+    if search_scale:
+        try:
+            scale = float(search_scale)
+        except ValueError:
+            raise ExperimentError(
+                f"REPRO_SEARCH_SCALE must be a number, got {search_scale!r}"
+            ) from None
+        if not math.isfinite(scale) or scale <= 0:
+            raise ExperimentError(
+                f"REPRO_SEARCH_SCALE must be a finite number > 0, "
+                f"got {search_scale!r}"
+            )
+        profile = replace(profile, search_scale=scale)
     return profile

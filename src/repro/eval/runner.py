@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import math
 import os
 from collections.abc import Iterable, Sequence
 from concurrent.futures import ProcessPoolExecutor
@@ -103,13 +104,33 @@ def run_policy_on_program(
 def policy_specs(
     names: Sequence[str], profile: EvalProfile
 ) -> list[PolicySpec]:
-    """Picklable policy recipes with the profile's search budgets applied."""
+    """Picklable policy recipes with the profile's search budgets applied.
+
+    ``profile.search_scale`` multiplies the GA population (``mu``/``lam``)
+    and the RW iteration budget; at the default scale of 1.0 the specs —
+    and therefore the matrix runner's content-keyed cell cache keys — are
+    untouched.
+    """
+    scale = profile.search_scale
+    if not math.isfinite(scale) or scale <= 0:
+        raise ValueError(f"search_scale must be a finite number > 0, got {scale}")
     specs: list[PolicySpec] = []
     for name in names:
         if name == "GA":
-            specs.append((name, dict(profile.ga_options)))
+            options = dict(profile.ga_options)
+            if scale != 1.0:
+                from repro.core.ga import GAConfig
+
+                defaults = GAConfig()
+                for knob in ("mu", "lam"):
+                    base = options.get(knob, getattr(defaults, knob))
+                    options[knob] = max(1, round(base * scale))
+            specs.append((name, options))
         elif name == "RW":
-            specs.append((name, {"iterations": profile.rw_iterations}))
+            iterations = profile.rw_iterations
+            if scale != 1.0:
+                iterations = max(1, round(iterations * scale))
+            specs.append((name, {"iterations": iterations}))
         else:
             specs.append((name, {}))
     return specs

@@ -7,6 +7,7 @@ from repro.core.bounds import (
     edge_lower_bound,
     intra_lower_bound,
     placement_lower_bound,
+    sampled_intra_upper_bound,
 )
 from repro.core.cost import shift_cost
 from repro.core.intra import annealed_order, ofu_order, optimal_intra_cost
@@ -57,6 +58,41 @@ class TestBounds:
         )
         assert total == per_dbc
         assert total <= shift_cost(fig3_sequence, placement)
+
+
+class TestSampledUpperBound:
+    def test_brackets_the_optimum(self):
+        for s in range(4):
+            seq = zipf_sequence(8, 60, rng=s)
+            variables = list(seq.variables)
+            optimum = optimal_intra_cost(seq, variables)
+            ub = sampled_intra_upper_bound(seq, variables, samples=64, rng=s)
+            assert intra_lower_bound(seq, variables) <= optimum <= ub
+
+    def test_matches_scalar_scoring(self):
+        seq = zipf_sequence(7, 50, rng=2)
+        variables = list(seq.variables)
+        ub = sampled_intra_upper_bound(seq, variables, samples=1, rng=5)
+        # One sample == scoring that single random order the scalar way.
+        import numpy as np
+        from repro.util.rng import ensure_rng
+        local = seq.restricted_to(variables)
+        order = ensure_rng(5).permutation(local.num_variables)
+        placement = Placement([[local.variables[int(c)]
+                                for c in np.argsort(order)]])
+        assert ub == shift_cost(local, placement)
+
+    def test_more_samples_never_worse(self):
+        seq = zipf_sequence(10, 90, rng=1)
+        variables = list(seq.variables)
+        few = sampled_intra_upper_bound(seq, variables, samples=4, rng=3)
+        # Same stream extended: strictly more exploration.
+        many = sampled_intra_upper_bound(seq, variables, samples=64, rng=3)
+        assert many <= few
+
+    def test_trivial_sizes(self):
+        seq = AccessSequence(["a"])
+        assert sampled_intra_upper_bound(seq, ["a"]) == 0
 
 
 class TestAnnealing:

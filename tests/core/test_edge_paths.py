@@ -1,7 +1,5 @@
 """Edge-path coverage for corners the main suites do not reach."""
 
-import pytest
-
 from repro.core.cost import shift_cost
 from repro.core.ga import GAConfig, GeneticPlacer
 from repro.core.placement import Placement

@@ -52,3 +52,28 @@ class TestEnvSelection:
         monkeypatch.setenv("REPRO_PROFILE", "warp9")
         with pytest.raises(ExperimentError):
             profile_from_env()
+
+
+class TestSearchScale:
+    def test_default_is_one(self):
+        assert QUICK_PROFILE.search_scale == 1.0
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SEARCH_SCALE", "2.5")
+        assert profile_from_env().search_scale == 2.5
+
+    def test_env_rejects_garbage(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SEARCH_SCALE", "plenty")
+        with pytest.raises(ExperimentError):
+            profile_from_env()
+
+    def test_env_rejects_nonpositive(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SEARCH_SCALE", "0")
+        with pytest.raises(ExperimentError):
+            profile_from_env()
+
+    def test_describe_mentions_scale(self):
+        from dataclasses import replace
+        scaled = replace(QUICK_PROFILE, search_scale=4.0)
+        assert "x4" in scaled.describe()
+        assert "search" not in QUICK_PROFILE.describe()

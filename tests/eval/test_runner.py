@@ -88,6 +88,30 @@ class TestBuildPolicies:
             pickle.dumps(specs))]
         assert [p.name for p in rebuilt] == ["GA", "RW", "DMA-SR"]
 
+    def test_search_scale_grows_ga_population_and_rw_budget(self):
+        from dataclasses import replace
+        scaled = replace(TINY, search_scale=3.0)
+        specs = dict(policy_specs(("GA", "RW", "DMA-SR"), scaled))
+        assert specs["GA"]["mu"] == 18
+        assert specs["GA"]["lam"] == 18
+        assert specs["GA"]["generations"] == 3  # iterations not scaled
+        assert specs["RW"]["iterations"] == 60
+        assert specs["DMA-SR"] == {}
+
+    def test_search_scale_uses_paper_defaults_when_unset(self):
+        from dataclasses import replace
+        scaled = replace(TINY, ga_options={}, search_scale=0.5)
+        specs = dict(policy_specs(("GA",), scaled))
+        assert specs["GA"] == {"mu": 50, "lam": 50}
+
+    def test_default_scale_leaves_specs_untouched(self):
+        # The matrix runner's cell cache keys hash the specs; scale 1.0
+        # must be a no-op so existing cached cells stay valid.
+        assert policy_specs(("GA", "RW"), TINY) == [
+            ("GA", {"mu": 6, "lam": 6, "generations": 3}),
+            ("RW", {"iterations": 20}),
+        ]
+
 
 class TestParallelMatrix:
     CONFIGS = iso_capacity_sweep(dbc_counts=(2, 4))
