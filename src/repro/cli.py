@@ -4,6 +4,8 @@
 * ``repro-sim``        — place and simulate, printing the full report.
 * ``repro-suite``      — inspect the generated OffsetStone-like suite.
 * ``repro-experiment`` — regenerate a table/figure of the paper.
+* ``repro-store``      — inspect/maintain persistent experiment stores
+  (lives in :mod:`repro.store.cli`).
 """
 
 from __future__ import annotations
@@ -17,6 +19,7 @@ from dataclasses import replace
 from repro.core.cost import per_dbc_shift_costs
 from repro.core.policies import available_policies, get_policy
 from repro.engine import available_backends
+from repro.errors import ExperimentError
 from repro.eval import experiments as exp
 from repro.eval.profiles import profile_from_env
 from repro.eval.reporting import render_experiment, save_experiment
@@ -160,6 +163,15 @@ _EXPERIMENTS = {
 }
 
 
+def _print_matrix_stats() -> None:
+    """Echo the last run's cache counters to stderr (never the report)."""
+    from repro.eval.runner import last_matrix_stats
+
+    stats = last_matrix_stats()
+    if stats is not None:
+        print(f"matrix cache: {stats.describe()}", file=sys.stderr)
+
+
 def main_experiment(argv: Sequence[str] | None = None) -> int:
     """Regenerate one of the paper's tables/figures."""
     parser = argparse.ArgumentParser(
@@ -168,7 +180,7 @@ def main_experiment(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("experiment", choices=sorted(_EXPERIMENTS),
                         help="which artifact to regenerate")
     parser.add_argument("--save", metavar="DIR", default=None,
-                        help="also write the report under DIR")
+                        help="also write the report (.txt + .json) under DIR")
     parser.add_argument("--max-rows", type=int, default=None,
                         help="truncate the table for display")
     parser.add_argument("--backend", default=None,
@@ -181,6 +193,17 @@ def main_experiment(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--search-scale", type=float, default=None,
                         help="multiply the GA population and RW iteration "
                              "budgets (default: profile / REPRO_SEARCH_SCALE)")
+    parser.add_argument("--store", metavar="PATH", default=None,
+                        help="persistent experiment store (default: "
+                             "REPRO_STORE; cells are read from and written "
+                             "back to it)")
+    parser.add_argument("--shard", metavar="i/N", default=None,
+                        help="compute only this deterministic slice of the "
+                             "matrix into the store, skip the report "
+                             "(requires --store/REPRO_STORE)")
+    parser.add_argument("--from-store", action="store_true",
+                        help="regenerate the report purely from stored "
+                             "cells; fail instead of simulating")
     args = parser.parse_args(argv)
     profile = profile_from_env()
     if args.backend is not None:
@@ -191,11 +214,44 @@ def main_experiment(argv: Sequence[str] | None = None) -> int:
         if not math.isfinite(args.search_scale) or args.search_scale <= 0:
             parser.error("--search-scale must be a finite number > 0")
         profile = replace(profile, search_scale=args.search_scale)
-    result = _EXPERIMENTS[args.experiment](profile)
+    if args.store is not None:
+        profile = replace(profile, store=args.store)
+    if args.from_store:
+        if profile.store is None:
+            parser.error("--from-store requires --store or REPRO_STORE")
+        profile = replace(profile, offline=True)
+    if args.shard is not None:
+        from repro.eval.runner import parse_shard
+
+        try:
+            shard = parse_shard(args.shard)
+        except ValueError as exc:
+            parser.error(str(exc))
+        if profile.store is None:
+            parser.error("--shard requires --store or REPRO_STORE "
+                         "(a shard's only output is the store)")
+        if args.experiment not in exp.MATRIX_POLICIES:
+            parser.error(
+                f"--shard only applies to matrix experiments "
+                f"({', '.join(sorted(exp.MATRIX_POLICIES))})"
+            )
+        stats = exp.populate_matrix(args.experiment, profile, shard=shard)
+        print(f"shard {args.shard} of {args.experiment!r} populated: "
+              f"{stats.describe()}")
+        print(f"({stats.sharded_out} cell(s) belong to other shards)")
+        return 0
+    try:
+        result = _EXPERIMENTS[args.experiment](profile)
+    except ExperimentError as exc:
+        # Expected operational failures (offline cache miss, bad profile
+        # configuration) end cleanly, not with a traceback.
+        print(f"repro-experiment: {exc}", file=sys.stderr)
+        return 2
     print(render_experiment(result, max_rows=args.max_rows))
+    _print_matrix_stats()
     if args.save:
         path = save_experiment(result, results_dir=args.save)
-        print(f"\nsaved to {path}")
+        print(f"\nsaved to {path} (+ JSON twin)")
     return 0
 
 

@@ -7,8 +7,16 @@ from repro.eval.profiles import (
     EvalProfile,
     profile_from_env,
 )
-from repro.eval.runner import CellResult, run_matrix, run_policy_on_program
+from repro.eval.runner import (
+    CellResult,
+    MatrixStats,
+    last_matrix_stats,
+    parse_shard,
+    run_matrix,
+    run_policy_on_program,
+)
 from repro.eval.experiments import (
+    MATRIX_POLICIES,
     ExperimentResult,
     experiment_fig3,
     experiment_fig4,
@@ -17,8 +25,14 @@ from repro.eval.experiments import (
     experiment_sec4b_gap,
     experiment_sec4c,
     experiment_table1,
+    populate_matrix,
 )
-from repro.eval.reporting import render_experiment, save_experiment
+from repro.eval.reporting import (
+    experiment_to_dict,
+    render_experiment,
+    render_experiment_json,
+    save_experiment,
+)
 from repro.eval.ablations import (
     ablation_dbc_sweep,
     ablation_multiset,
@@ -45,8 +59,13 @@ __all__ = [
     "SMOKE_PROFILE",
     "profile_from_env",
     "CellResult",
+    "MatrixStats",
+    "last_matrix_stats",
+    "parse_shard",
     "run_matrix",
     "run_policy_on_program",
+    "MATRIX_POLICIES",
+    "populate_matrix",
     "ExperimentResult",
     "experiment_table1",
     "experiment_fig3",
@@ -56,5 +75,7 @@ __all__ = [
     "experiment_sec4c",
     "experiment_sec4b_gap",
     "render_experiment",
+    "render_experiment_json",
+    "experiment_to_dict",
     "save_experiment",
 ]

@@ -119,38 +119,39 @@ def ablation_dbc_sweep(
     calibration model's extrapolation and tests whether the leakage/area
     penalty keeps growing past the paper's largest configuration — the
     question Fig. 6's trend lines raise.
+
+    The sweep is an ordinary (program x config x policy) matrix, so it
+    runs through :func:`~repro.eval.runner.run_matrix` and inherits the
+    cell caches, the persistent store and the worker pool.
     """
+    from repro.eval.runner import run_matrix
     from repro.rtm.geometry import RTMConfig
-    from repro.rtm.sim import simulate
     from repro.rtm.timing import destiny_params
 
     programs = [
         load_benchmark(n, scale=profile.suite_scale, seed=profile.seed)
         for n in benchmarks
     ]
-    rows = []
-    summary: dict[str, float] = {}
     total_bits = 4096 * 8
+    configs = []
     for q in dbc_counts:
         domains = total_bits // (q * 32)
         if domains * q * 32 != total_bits or domains < 1:
             continue  # only even iso-capacity splits
-        config = RTMConfig(dbcs=q, domains_per_track=domains)
-        params = destiny_params(q)
-        policy = get_policy("DMA-SR")
-        shifts = 0
-        energy = 0.0
-        runtime = 0.0
-        for program in programs:
-            for trace in program.traces:
-                placement = policy.place(trace.sequence, q, domains)
-                report = simulate(trace, placement, config, params=params)
-                shifts += report.shifts
-                energy += report.total_energy_pj
-                runtime += report.runtime_ns
+        configs.append(RTMConfig(dbcs=q, domains_per_track=domains))
+    matrix = run_matrix(("DMA-SR",), profile, configs=configs,
+                        programs=programs)
+    rows = []
+    summary: dict[str, float] = {}
+    for config in configs:
+        q = config.dbcs
+        cells = [matrix[(p.name, "DMA-SR", q)] for p in programs]
+        shifts = sum(c.report.shifts for c in cells)
+        runtime = sum(c.report.runtime_ns for c in cells)
+        energy = sum(c.report.total_energy_pj for c in cells)
         rows.append([
-            q, domains, shifts, round(runtime, 1), round(energy, 1),
-            round(params.area_mm2, 4),
+            q, config.domains_per_track, shifts, round(runtime, 1),
+            round(energy, 1), round(destiny_params(q).area_mm2, 4),
         ])
         summary[f"energy_pj@{q}"] = energy
     best_q = min(

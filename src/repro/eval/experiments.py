@@ -21,7 +21,12 @@ from repro.core.policies import PAPER_POLICIES, get_policy
 from repro.core.random_walk import random_walk_search
 from repro.errors import ExperimentError
 from repro.eval.profiles import EvalProfile, QUICK_PROFILE
-from repro.eval.runner import CellResult, run_matrix
+from repro.eval.runner import (
+    CellResult,
+    MatrixStats,
+    last_matrix_stats,
+    run_matrix,
+)
 from repro.rtm.geometry import TABLE1_DBC_COUNTS, iso_capacity_sweep
 from repro.rtm.timing import destiny_params, table1_rows
 from repro.trace.generators.offsetstone import largest_sequence_benchmark, load_benchmark
@@ -42,6 +47,50 @@ class ExperimentResult:
     summary: dict[str, float] = field(default_factory=dict)
     paper: dict[str, float] = field(default_factory=dict)
     notes: str = ""
+
+
+# ---------------------------------------------------------------------------
+# The experiment matrix: which policies each matrix-backed figure needs
+# ---------------------------------------------------------------------------
+
+FIG5_POLICIES: tuple[str, ...] = ("AFD-OFU", "DMA-OFU", "DMA-SR")
+FIG6_POLICIES: tuple[str, ...] = ("AFD-OFU", "DMA-SR")
+SEC4C_POLICIES: tuple[str, ...] = ("AFD-OFU", "DMA-OFU", "DMA-Chen", "DMA-SR")
+
+#: Policy list per matrix-backed experiment — the contract sharded
+#: populate runs and report regeneration share: a shard run computes
+#: cells for exactly this list, so the later full (or offline) run asks
+#: for identical cell keys and seed assignments.
+MATRIX_POLICIES: dict[str, tuple[str, ...]] = {
+    "fig4": tuple(PAPER_POLICIES),
+    "fig5": FIG5_POLICIES,
+    "fig6": FIG6_POLICIES,
+    "sec4c": SEC4C_POLICIES,
+}
+
+
+def populate_matrix(
+    experiment_id: str,
+    profile: EvalProfile = QUICK_PROFILE,
+    shard: tuple[int, int] | str | None = None,
+    store=None,
+) -> MatrixStats:
+    """Fill the (store-backed) matrix for one experiment without reporting.
+
+    The shard workflow's compute half: ``populate_matrix("fig4", ...,
+    shard=(i, N))`` on N machines computes disjoint cell slices whose
+    union — merged stores, or one shared store — lets the plain
+    ``experiment_fig4`` regenerate its report with zero simulation.
+    """
+    try:
+        names = MATRIX_POLICIES[experiment_id]
+    except KeyError:
+        raise ExperimentError(
+            f"{experiment_id!r} is not a matrix experiment; "
+            f"choose from {sorted(MATRIX_POLICIES)}"
+        ) from None
+    run_matrix(names, profile, shard=shard, store=store)
+    return last_matrix_stats()
 
 
 # ---------------------------------------------------------------------------
@@ -234,9 +283,6 @@ def experiment_fig4(
 # E-F5: Fig. 5, energy breakdown
 # ---------------------------------------------------------------------------
 
-FIG5_POLICIES: tuple[str, ...] = ("AFD-OFU", "DMA-OFU", "DMA-SR")
-
-
 def experiment_fig5(
     profile: EvalProfile = QUICK_PROFILE,
     matrix: Matrix | None = None,
@@ -298,9 +344,8 @@ def experiment_fig6(
     matrix: Matrix | None = None,
 ) -> ExperimentResult:
     """Shifts/latency/energy improvement over AFD-OFU and area vs DBC count."""
-    needed = ("AFD-OFU", "DMA-SR")
     if matrix is None:
-        matrix = run_matrix(needed, profile)
+        matrix = run_matrix(FIG6_POLICIES, profile)
     dbc_counts = sorted({k[2] for k in matrix})
     benchmarks = sorted({k[0] for k in matrix})
     area2 = destiny_params(2).area_mm2
@@ -360,9 +405,6 @@ def experiment_fig6(
 # ---------------------------------------------------------------------------
 # E-S4C: latency improvements quoted in Sec. IV-C
 # ---------------------------------------------------------------------------
-
-SEC4C_POLICIES: tuple[str, ...] = ("AFD-OFU", "DMA-OFU", "DMA-Chen", "DMA-SR")
-
 
 def experiment_sec4c(
     profile: EvalProfile = QUICK_PROFILE,

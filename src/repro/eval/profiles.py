@@ -24,6 +24,12 @@ on top of whatever the profile sets. Batched candidate evaluation made
 bigger populations affordable: scoring is one vectorized engine pass per
 generation, so ``search_scale=4`` costs far less than 4x wall time.
 Force it from the environment with ``REPRO_SEARCH_SCALE``.
+
+``store`` attaches a persistent experiment store (``REPRO_STORE`` from
+the environment, ``--store`` on the CLI): matrix cells are cached on
+disk across processes, runs resume after interruption and shards share
+work — see ``docs/experiments.md``. ``offline`` turns the store into
+the only allowed source (report regeneration without simulation).
 """
 
 from __future__ import annotations
@@ -53,6 +59,10 @@ class EvalProfile:
     workers: int = 1
     #: Multiplier on the GA population and RW iteration budgets (> 0).
     search_scale: float = 1.0
+    #: Path of the persistent experiment store (None = in-memory only).
+    store: str | None = None
+    #: Forbid simulation: every matrix cell must come from a cache layer.
+    offline: bool = False
 
     def describe(self) -> str:
         ga = ", ".join(f"{k}={v}" for k, v in sorted(self.ga_options.items()))
@@ -130,4 +140,7 @@ def profile_from_env(default: str = "quick") -> EvalProfile:
                 f"got {search_scale!r}"
             )
         profile = replace(profile, search_scale=scale)
+    store = os.environ.get("REPRO_STORE")
+    if store:
+        profile = replace(profile, store=store)
     return profile

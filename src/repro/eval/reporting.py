@@ -1,7 +1,15 @@
-"""Rendering and archival of experiment results."""
+"""Rendering and archival of experiment results.
+
+Every archived experiment is written twice: the human-readable ``.txt``
+table (unchanged format) and a machine-readable ``.json`` twin with the
+same content — header, rows, summary, paper anchors, notes — so reports
+from different runs, stores or shards can be diffed and post-processed
+without re-parsing tables.
+"""
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -39,15 +47,51 @@ def render_experiment(result: ExperimentResult, max_rows: int | None = None) -> 
     return "\n".join(parts)
 
 
+def _json_default(obj):
+    """Coerce numpy scalars (and friends) to plain Python numbers."""
+    item = getattr(obj, "item", None)
+    if callable(item):
+        return item()
+    raise TypeError(f"not JSON serializable: {type(obj).__name__}")
+
+
+def experiment_to_dict(result: ExperimentResult) -> dict:
+    """The machine-readable form archived next to the rendered table."""
+    return {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "header": list(result.header),
+        "rows": [list(row) for row in result.rows],
+        "summary": dict(result.summary),
+        "paper": dict(result.paper),
+        "notes": result.notes,
+    }
+
+
+def render_experiment_json(result: ExperimentResult) -> str:
+    """Deterministic JSON rendering (sorted keys, stable row order)."""
+    return json.dumps(
+        experiment_to_dict(result), indent=2, sort_keys=True,
+        default=_json_default,
+    ) + "\n"
+
+
 def save_experiment(
     result: ExperimentResult,
     results_dir: str | Path | None = None,
     max_rows: int | None = None,
 ) -> Path:
-    """Write the rendered report to ``<results_dir>/<experiment_id>.txt``."""
+    """Write ``<results_dir>/<experiment_id>.txt`` plus its ``.json`` twin.
+
+    Returns the ``.txt`` path (the JSON twin sits next to it). Both files
+    depend only on the result's content, so a warm-store re-run produces
+    byte-identical archives.
+    """
     directory = Path(results_dir) if results_dir is not None else DEFAULT_RESULTS_DIR
     directory.mkdir(parents=True, exist_ok=True)
     path = directory / f"{result.experiment_id}.txt"
     path.write_text(render_experiment(result, max_rows=max_rows) + "\n",
                     encoding="utf-8")
+    json_path = directory / f"{result.experiment_id}.json"
+    json_path.write_text(render_experiment_json(result), encoding="utf-8")
     return path

@@ -14,21 +14,36 @@ The full matrix is embarrassingly parallel and the runner exploits that:
 * results are de-duplicated through a content-keyed cache: a cell is
   keyed by the digest of its traces, its policy spec, its configuration
   and (for stochastic policies only) its seed, so re-running overlapping
-  matrices — different figures share most cells — is near-free.
+  matrices — different figures share most cells — is near-free;
+* the same content keys address the *persistent* experiment store
+  (:mod:`repro.store`): when a store is attached — ``store=``, the
+  profile's ``store`` field or ``REPRO_STORE`` — the runner consults
+  disk before computing, writes every freshly computed cell back
+  atomically from the parent process (workers stay side-effect-free),
+  and records a provenance manifest per run. A killed run therefore
+  resumes where it stopped, and ``shard=(i, N)`` partitions the matrix
+  deterministically across machines whose merged stores reproduce the
+  unsharded run bit-identically.
+
+Every run publishes its hit/miss counters (in-memory cache vs store vs
+computed) through :func:`last_matrix_stats` and the module logger.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import math
 import os
+import time
 from collections.abc import Iterable, Sequence
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
 from repro.core.cost import shift_cost
 from repro.core.policies import Policy, get_policy
+from repro.errors import ExperimentError
 from repro.eval.profiles import EvalProfile, QUICK_PROFILE
 from repro.engine import trace_fingerprint
 from repro.rtm.geometry import RTMConfig, iso_capacity_sweep
@@ -40,6 +55,77 @@ from repro.util.rng import ensure_rng, spawn_seeds
 
 #: A picklable policy recipe: ``(name, constructor kwargs)``.
 PolicySpec = tuple[str, dict]
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass
+class MatrixStats:
+    """Cache observability for one ``run_matrix`` invocation.
+
+    ``cells_total`` counts the cells of the (possibly sharded) matrix
+    this run was responsible for; ``sharded_out`` the cells skipped
+    because they belong to other shards. Every responsible cell is
+    accounted to exactly one of ``hits_memory`` (in-process cache),
+    ``hits_store`` (persistent store) or ``computed``.
+    """
+
+    cells_total: int = 0
+    hits_memory: int = 0
+    hits_store: int = 0
+    computed: int = 0
+    sharded_out: int = 0
+    run_id: str | None = None
+    shard: tuple[int, int] | None = None
+
+    @property
+    def hits(self) -> int:
+        """Cells served without simulation, from either cache layer."""
+        return self.hits_memory + self.hits_store
+
+    def describe(self) -> str:
+        shard = f", shard {self.shard[0]}/{self.shard[1]}" if self.shard else ""
+        return (
+            f"{self.cells_total} cell(s): {self.hits_memory} memory hit(s), "
+            f"{self.hits_store} store hit(s), {self.computed} computed"
+            f"{shard}"
+        )
+
+
+#: Stats of the most recent ``run_matrix`` call in this process.
+_LAST_STATS: MatrixStats | None = None
+
+
+def last_matrix_stats() -> MatrixStats | None:
+    """Hit/miss counters of the most recent :func:`run_matrix` call."""
+    return _LAST_STATS
+
+
+def parse_shard(text: str) -> tuple[int, int]:
+    """Parse an ``i/N`` shard designator into ``(index, count)``."""
+    try:
+        index_s, _, count_s = text.partition("/")
+        index, count = int(index_s), int(count_s)
+    except ValueError:
+        raise ValueError(f"shard must look like i/N, got {text!r}") from None
+    if count < 1 or not 0 <= index < count:
+        raise ValueError(
+            f"shard index must satisfy 0 <= i < N, got {index}/{count}"
+        )
+    return index, count
+
+
+def _in_shard(key: str, shard: tuple[int, int] | None) -> bool:
+    """Deterministic cell-to-shard assignment over the content digest.
+
+    Keying on the digest (not the enumeration index) makes the partition
+    a property of the cell itself: disjoint by construction, covering
+    the matrix, and stable no matter how callers slice the policy list.
+    """
+    if shard is None:
+        return True
+    index, count = shard
+    return int(key[:16], 16) % count == index
 
 
 @dataclass(frozen=True)
@@ -234,6 +320,59 @@ def _resolve_workers(workers: int) -> int:
     return workers or (os.cpu_count() or 1)
 
 
+# -- persistent store plumbing ----------------------------------------------
+
+
+def _resolve_store(store, profile: EvalProfile):
+    """Open the requested store; ``(store, owned)`` where ``owned`` means
+    this call must close it."""
+    if store is None:
+        store = profile.store
+    if store is None:
+        return None, False
+    if isinstance(store, (str, os.PathLike)):
+        from repro.store import ExperimentStore
+
+        return ExperimentStore(store), True
+    return store, False
+
+
+def _run_manifest(
+    profile: EvalProfile,
+    policy_names: Sequence[str],
+    backend: object,
+    workers: int,
+    shard: tuple[int, int] | None,
+    cells_total: int,
+) -> dict:
+    """Provenance recorded alongside every store-backed run."""
+    import platform
+
+    from repro import __version__
+    from repro.store import SCHEMA_VERSION
+
+    return {
+        "profile": {
+            "name": profile.name,
+            "suite_scale": profile.suite_scale,
+            "ga_options": dict(profile.ga_options),
+            "rw_iterations": profile.rw_iterations,
+            "seed": profile.seed,
+            "benchmarks": list(profile.benchmarks),
+            "write_ratio": profile.write_ratio,
+            "search_scale": profile.search_scale,
+        },
+        "policies": list(policy_names),
+        "backend": str(backend),
+        "workers": workers,
+        "shard": f"{shard[0]}/{shard[1]}" if shard else None,
+        "cells_total": cells_total,
+        "package_version": __version__,
+        "schema_version": SCHEMA_VERSION,
+        "python": platform.python_version(),
+    }
+
+
 def run_matrix(
     policy_names: Sequence[str],
     profile: EvalProfile = QUICK_PROFILE,
@@ -242,6 +381,9 @@ def run_matrix(
     workers: int | None = None,
     backend: object = None,
     use_cache: bool = True,
+    store=None,
+    shard: tuple[int, int] | str | None = None,
+    offline: bool | None = None,
 ) -> dict[tuple[str, str, int], CellResult]:
     """Run the full (program x config x policy) matrix.
 
@@ -251,7 +393,26 @@ def run_matrix(
     count never changes any number. ``workers``/``backend`` default to the
     profile's settings (``workers=0`` means one per core); ``use_cache``
     consults and fills the process-wide content-keyed cell cache.
+
+    ``store`` (an :class:`repro.store.ExperimentStore`, a path, or the
+    profile's ``store`` field) adds the persistent layer: cells missing
+    from the in-memory cache are looked up on disk, and freshly computed
+    cells are written back one by one — from this parent process only —
+    so an interrupted run resumes where it stopped. ``shard=(i, N)`` (or
+    ``"i/N"``) restricts computation to a deterministic slice of the
+    cells keyed on their content digest: shards are disjoint, cover the
+    matrix, and assign cells independently of who runs them, so N
+    machines pointed at (copies of) one store partition the work and
+    their merged store reproduces the unsharded run bit-identically.
+    ``offline`` (default: the profile's flag) forbids simulation: every
+    cell must come from a cache layer, otherwise an
+    :class:`~repro.errors.ExperimentError` is raised — the
+    "regenerate reports without recomputing" mode.
+
+    Hit/miss counters for the run are available afterwards via
+    :func:`last_matrix_stats`.
     """
+    global _LAST_STATS
     programs = list(programs) if programs is not None else load_suite(profile)
     configs = list(configs) if configs is not None else iso_capacity_sweep()
     specs = policy_specs(policy_names, profile)
@@ -260,25 +421,97 @@ def run_matrix(
         workers = profile.workers
     if backend is None:
         backend = profile.engine_backend
+    if offline is None:
+        offline = profile.offline
+    if isinstance(shard, str):
+        shard = parse_shard(shard)
     workers = _resolve_workers(workers)
+    store_obj, owned_store = _resolve_store(store, profile)
+    stats = MatrixStats(shard=shard)
     master = ensure_rng(profile.seed)
     seeds = spawn_seeds(master, len(programs) * len(configs) * len(policies))
     results: dict[tuple[str, str, int], CellResult] = {}
     pending: list[tuple[tuple[str, str, int], tuple[int, int, int, int], str]] = []
-    i = 0
-    for pi, program in enumerate(programs):
-        for ci, config in enumerate(configs):
-            for li, policy in enumerate(policies):
-                key = _cell_key(program, specs[li], config, seeds[i],
-                                policy.deterministic, backend)
-                result_key = (program.name, policy.name, config.dbcs)
-                cached = _CELL_CACHE.get(key) if use_cache else None
-                if cached is not None:
-                    results[result_key] = cached
-                else:
-                    pending.append((result_key, (pi, ci, li, seeds[i]), key))
-                i += 1
-    if pending:
+    try:
+        i = 0
+        for pi, program in enumerate(programs):
+            for ci, config in enumerate(configs):
+                for li, policy in enumerate(policies):
+                    key = _cell_key(program, specs[li], config, seeds[i],
+                                    policy.deterministic, backend)
+                    job = (pi, ci, li, seeds[i])
+                    i += 1
+                    if not _in_shard(key, shard):
+                        stats.sharded_out += 1
+                        continue
+                    stats.cells_total += 1
+                    result_key = (program.name, policy.name, config.dbcs)
+                    cached = _CELL_CACHE.get(key) if use_cache else None
+                    if cached is not None:
+                        results[result_key] = cached
+                        stats.hits_memory += 1
+                        continue
+                    if store_obj is not None:
+                        stored = store_obj.get_cell(key)
+                        if stored is not None:
+                            results[result_key] = stored
+                            stats.hits_store += 1
+                            if use_cache:
+                                _CELL_CACHE[key] = stored
+                            continue
+                    pending.append((result_key, job, key))
+        if pending and offline:
+            missing = sorted({rk for rk, _, _ in pending})
+            raise ExperimentError(
+                f"offline run: {len(pending)} cell(s) missing from the "
+                f"store (first: {missing[0]}); run without --from-store "
+                f"to compute them"
+            )
+        if pending:
+            _compute_pending(
+                pending, programs, policies, specs, configs, backend,
+                workers, use_cache, store_obj, stats, results,
+                policy_names, profile, shard,
+            )
+    finally:
+        _LAST_STATS = stats
+        logger.info("run_matrix: %s", stats.describe())
+        if owned_store and store_obj is not None:
+            store_obj.close()
+    return results
+
+
+def _compute_pending(
+    pending, programs, policies, specs, configs, backend, workers,
+    use_cache, store_obj, stats, results, policy_names, profile, shard,
+) -> None:
+    """Compute the cache-missing cells, persisting each as it lands.
+
+    Cells are committed — to the result dict, the in-memory cache and
+    the store — one at a time as the (ordered) pool iterator yields
+    them, so a crash or kill mid-run loses at most the cells still in
+    flight; the next invocation resumes from the store.
+    """
+    run_id = None
+    started = time.perf_counter()
+    if store_obj is not None:
+        run_id = store_obj.begin_run(_run_manifest(
+            profile, policy_names, backend, workers, shard,
+            stats.cells_total,
+        ))
+        stats.run_id = run_id
+
+    def commit(entry, cell: CellResult) -> None:
+        result_key, _job, key = entry
+        results[result_key] = cell
+        stats.computed += 1
+        if use_cache:
+            _CELL_CACHE[key] = cell
+        if store_obj is not None:
+            store_obj.put_cell(key, cell, run_id=run_id)
+
+    status = "failed"
+    try:
         jobs = [job for _, job, _ in pending]
         if workers > 1 and len(pending) > 1:
             pool_size = min(workers, len(pending))
@@ -287,17 +520,25 @@ def run_matrix(
                 initializer=_init_worker,
                 initargs=(programs, specs, configs, backend),
             ) as pool:
-                cells = list(pool.map(_run_cell_job, jobs))
+                for entry, cell in zip(pending, pool.map(_run_cell_job, jobs)):
+                    commit(entry, cell)
         else:
-            cells = [
-                run_policy_on_program(
+            for entry in pending:
+                pi, ci, li, seed = entry[1]
+                cell = run_policy_on_program(
                     programs[pi], policies[li], configs[ci],
                     rng=seed, backend=backend,
                 )
-                for pi, ci, li, seed in jobs
-            ]
-        for (result_key, _job, key), cell in zip(pending, cells):
-            results[result_key] = cell
-            if use_cache:
-                _CELL_CACHE[key] = cell
-    return results
+                commit(entry, cell)
+        status = "complete"
+    finally:
+        if store_obj is not None:
+            store_obj.finish_run(
+                run_id,
+                status=status,
+                wall_time_s=time.perf_counter() - started,
+                cells_total=stats.cells_total,
+                hits_memory=stats.hits_memory,
+                hits_store=stats.hits_store,
+                computed=stats.computed,
+            )

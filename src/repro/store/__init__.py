@@ -1,0 +1,24 @@
+"""Persistent experiment store: resumable, shardable, provenance-tracked.
+
+The matrix runner's content-keyed cell cache, made durable. Cells are
+persisted in a sqlite database under the same digest that keys the
+in-process cache, together with a run-manifest table recording *how*
+each batch of cells was produced (profile, backend, search scale,
+package and schema versions, wall time). ``run_matrix`` consults the
+store before computing, writes back atomically from the parent process,
+and therefore resumes killed runs and shares work across shards and
+machines — see ``docs/experiments.md``.
+"""
+
+from repro.store.schema import SCHEMA_VERSION
+from repro.store.serde import cell_from_payload, cell_to_payload
+from repro.store.store import ExperimentStore, open_store, store_from_env
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "ExperimentStore",
+    "open_store",
+    "store_from_env",
+    "cell_from_payload",
+    "cell_to_payload",
+]

@@ -1,0 +1,146 @@
+"""``repro-store`` — inspect and maintain persistent experiment stores.
+
+Subcommands:
+
+* ``ls``      — list stored cells (benchmark, policy, DBCs, key prefix).
+* ``stats``   — cell/run counts, per-policy breakdown, file size.
+* ``runs``    — provenance manifests of the recorded matrix runs.
+* ``gc``      — drop rows older than a horizon and compact the file.
+* ``export``  — dump every cell as JSON lines (stdout or ``--out``).
+* ``merge``   — copy cells from other stores into this one (the shard
+  union step: disjoint shard stores merge into one that regenerates
+  reports bit-identically).
+
+The target store is ``--store PATH`` or the ``REPRO_STORE`` environment
+variable, matching ``repro-experiment``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from collections.abc import Sequence
+from pathlib import Path
+
+from repro.errors import ExperimentError
+from repro.store.store import ExperimentStore
+from repro.util.tables import format_table
+
+
+def _open(args: argparse.Namespace, must_exist: bool = True) -> ExperimentStore:
+    path = args.store or os.environ.get("REPRO_STORE")
+    if not path:
+        raise ExperimentError(
+            "no store given: pass --store PATH or set REPRO_STORE"
+        )
+    if must_exist and not Path(path).exists():
+        raise ExperimentError(f"store {path!r} does not exist")
+    return ExperimentStore(path)
+
+
+def _cmd_ls(args: argparse.Namespace) -> int:
+    with _open(args) as store:
+        rows = [
+            [bench, policy, dbcs, key[:12], run_id[:8] if run_id else "-"]
+            for key, bench, policy, dbcs, run_id, _ in
+            store.iter_cells(limit=args.limit)
+        ]
+        total = len(store)
+    print(format_table(
+        ["Benchmark", "Policy", "DBCs", "Key", "Run"], rows,
+        title=f"{total} stored cell(s)",
+    ))
+    if args.limit is not None and total > args.limit:
+        print(f"... ({total - args.limit} more; raise --limit)")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    with _open(args) as store:
+        print(json.dumps(store.stats(), indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_runs(args: argparse.Namespace) -> int:
+    with _open(args) as store:
+        print(json.dumps(store.runs(), indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_gc(args: argparse.Namespace) -> int:
+    with _open(args) as store:
+        removed = store.gc(older_than_s=args.older_than)
+    print(f"removed {removed['cells']} cell(s), {removed['runs']} run(s); "
+          f"store compacted")
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    with _open(args) as store:
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                count = store.export(fh)
+            print(f"exported {count} cell(s) to {args.out}")
+        else:
+            store.export(sys.stdout)
+    return 0
+
+
+def _cmd_merge(args: argparse.Namespace) -> int:
+    with _open(args, must_exist=False) as store:
+        for source in args.sources:
+            if not Path(source).exists():
+                raise ExperimentError(f"source store {source!r} does not exist")
+            added = store.merge_from(source)
+            print(f"merged {source}: +{added} cell(s)")
+        print(f"store now holds {len(store)} cell(s)")
+    return 0
+
+
+def main_store(argv: Sequence[str] | None = None) -> int:
+    """Inspect and maintain persistent experiment stores."""
+    parser = argparse.ArgumentParser(
+        prog="repro-store", description=main_store.__doc__
+    )
+    parser.add_argument("--store", default=None,
+                        help="store database path (default: REPRO_STORE)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_ls = sub.add_parser("ls", help="list stored cells")
+    p_ls.add_argument("--limit", type=int, default=50,
+                      help="max rows to print (default 50)")
+    p_ls.set_defaults(func=_cmd_ls)
+
+    p_stats = sub.add_parser("stats", help="store statistics as JSON")
+    p_stats.set_defaults(func=_cmd_stats)
+
+    p_runs = sub.add_parser("runs", help="run provenance manifests as JSON")
+    p_runs.set_defaults(func=_cmd_runs)
+
+    p_gc = sub.add_parser("gc", help="drop stale rows and compact")
+    p_gc.add_argument("--older-than", type=float, default=None, metavar="S",
+                      help="also remove cells/runs older than S seconds")
+    p_gc.set_defaults(func=_cmd_gc)
+
+    p_export = sub.add_parser("export", help="dump cells as JSON lines")
+    p_export.add_argument("--out", default=None,
+                          help="output file (default: stdout)")
+    p_export.set_defaults(func=_cmd_export)
+
+    p_merge = sub.add_parser("merge", help="copy cells from other stores")
+    p_merge.add_argument("sources", nargs="+",
+                         help="source store database path(s)")
+    p_merge.set_defaults(func=_cmd_merge)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ExperimentError as exc:
+        print(f"repro-store: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - manual dispatch helper
+    sys.exit(main_store())

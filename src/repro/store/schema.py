@@ -1,0 +1,63 @@
+"""SQLite schema of the persistent experiment store.
+
+Two tables carry everything:
+
+* ``cells`` — one row per computed matrix cell, keyed by the runner's
+  content digest (:func:`repro.eval.runner._cell_key`). The payload is
+  the JSON serialization of the :class:`~repro.eval.runner.CellResult`
+  (see :mod:`repro.store.serde`); benchmark/policy/dbcs are denormalized
+  for listing and GC without deserializing payloads.
+* ``runs`` — one row per ``run_matrix`` invocation that touched the
+  store: provenance (the full profile, backend, search scale, package
+  and schema versions — the *manifest*), wall time and the hit/miss
+  counters, so any stored cell can be traced back to how it was
+  produced.
+
+``meta`` holds the schema version. Bumping :data:`SCHEMA_VERSION`
+invalidates existing stores *cleanly*: opening a store written under a
+different version drops and recreates all tables instead of trying to
+read incompatible rows.
+"""
+
+from __future__ import annotations
+
+#: Bump when the table layout or the cell payload format changes
+#: incompatibly; stores written under a different version are discarded
+#: on open.
+SCHEMA_VERSION = 1
+
+#: All tables, indexes and names the store owns (dropped on migration).
+TABLES = ("meta", "cells", "runs")
+
+CREATE_SQL = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+
+CREATE TABLE IF NOT EXISTS cells (
+    key        TEXT PRIMARY KEY,
+    benchmark  TEXT NOT NULL,
+    policy     TEXT NOT NULL,
+    dbcs       INTEGER NOT NULL,
+    payload    TEXT NOT NULL,
+    run_id     TEXT,
+    created_at REAL NOT NULL
+);
+
+CREATE INDEX IF NOT EXISTS idx_cells_triple
+    ON cells (benchmark, policy, dbcs);
+
+CREATE TABLE IF NOT EXISTS runs (
+    run_id      TEXT PRIMARY KEY,
+    status      TEXT NOT NULL,
+    started_at  REAL NOT NULL,
+    finished_at REAL,
+    wall_time_s REAL,
+    manifest    TEXT NOT NULL,
+    cells_total INTEGER,
+    hits_memory INTEGER,
+    hits_store  INTEGER,
+    computed    INTEGER
+);
+"""

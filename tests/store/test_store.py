@@ -1,0 +1,241 @@
+"""Unit tests for the persistent experiment store."""
+
+import io
+import json
+import threading
+
+import pytest
+
+from repro.eval.runner import CellResult
+from repro.rtm.report import SimReport
+from repro.store import (
+    ExperimentStore,
+    cell_from_payload,
+    cell_to_payload,
+    open_store,
+    store_from_env,
+)
+from repro.store import schema
+from repro.errors import ExperimentError
+
+
+def make_cell(benchmark="adpcm", policy="DMA-SR", dbcs=4, shifts=123) -> CellResult:
+    """A cell with awkward floats to exercise exact round-tripping."""
+    report = SimReport(
+        dbcs=dbcs, accesses=100, reads=75, writes=25, shifts=shifts,
+        runtime_ns=0.1 + 0.2,  # 0.30000000000000004
+        read_energy_pj=1.0 / 3.0,
+        write_energy_pj=2.18e-13,
+        shift_energy_pj=987.6543210123456,
+        leakage_energy_pj=8.94,
+        area_mm2=0.0186,
+        per_dbc_shifts=(40, 30, 33, 20),
+    )
+    return CellResult(benchmark=benchmark, policy=policy, dbcs=dbcs,
+                      shifts=shifts, report=report)
+
+
+class TestSerde:
+    def test_roundtrip_is_exact(self):
+        cell = make_cell()
+        again = cell_from_payload(cell_to_payload(cell))
+        assert again == cell  # dataclass eq: every float bit-exact
+        assert again.report.runtime_ns == 0.1 + 0.2
+        assert isinstance(again.report.per_dbc_shifts, tuple)
+
+    def test_payload_is_canonical(self):
+        cell = make_cell()
+        assert cell_to_payload(cell) == cell_to_payload(cell)
+        assert json.loads(cell_to_payload(cell))["benchmark"] == "adpcm"
+
+
+class TestStoreBasics:
+    def test_put_get_roundtrip(self, tmp_path):
+        with ExperimentStore(tmp_path / "s.db") as store:
+            cell = make_cell()
+            store.put_cell("k1", cell)
+            assert store.get_cell("k1") == cell
+            assert store.get_cell("missing") is None
+            assert store.has_cell("k1") and not store.has_cell("k2")
+            assert len(store) == 1
+
+    def test_cells_persist_across_reopen(self, tmp_path):
+        path = tmp_path / "s.db"
+        cell = make_cell()
+        with ExperimentStore(path) as store:
+            store.put_cell("k1", cell)
+        with ExperimentStore(path) as store:
+            assert store.get_cell("k1") == cell
+
+    def test_reput_is_idempotent(self, tmp_path):
+        with ExperimentStore(tmp_path / "s.db") as store:
+            store.put_cell("k1", make_cell(shifts=1))
+            store.put_cell("k1", make_cell(shifts=999))  # content key: no-op
+            assert store.get_cell("k1").shifts == 1
+            assert len(store) == 1
+
+    def test_iter_cells_ordered(self, tmp_path):
+        with ExperimentStore(tmp_path / "s.db") as store:
+            store.put_cell("kb", make_cell(benchmark="jpeg"))
+            store.put_cell("ka", make_cell(benchmark="adpcm"))
+            rows = list(store.iter_cells())
+            assert [r[1] for r in rows] == ["adpcm", "jpeg"]
+
+    def test_open_store_and_env(self, tmp_path, monkeypatch):
+        path = tmp_path / "env.db"
+        open_store(path).close()
+        monkeypatch.setenv("REPRO_STORE", str(path))
+        store_from_env().close()
+        monkeypatch.delenv("REPRO_STORE")
+        with pytest.raises(ExperimentError):
+            store_from_env()
+
+
+class TestSchemaVersion:
+    def test_version_bump_invalidates_cleanly(self, tmp_path, monkeypatch):
+        path = tmp_path / "s.db"
+        with ExperimentStore(path) as store:
+            store.put_cell("k1", make_cell())
+            run = store.begin_run({"why": "test"})
+            store.finish_run(run)
+        monkeypatch.setattr(schema, "SCHEMA_VERSION", schema.SCHEMA_VERSION + 1)
+        with ExperimentStore(path) as store:  # no crash, just empty
+            assert len(store) == 0
+            assert store.runs() == []
+            store.put_cell("k2", make_cell())
+        with ExperimentStore(path) as store:  # new version sticks
+            assert len(store) == 1
+
+    def test_same_version_preserves(self, tmp_path):
+        path = tmp_path / "s.db"
+        with ExperimentStore(path) as store:
+            store.put_cell("k1", make_cell())
+        with ExperimentStore(path) as store:
+            assert len(store) == 1
+
+
+class TestRunManifests:
+    def test_run_lifecycle(self, tmp_path):
+        with ExperimentStore(tmp_path / "s.db") as store:
+            run_id = store.begin_run({"profile": {"name": "quick"}, "backend": "numpy"})
+            store.put_cell("k1", make_cell(), run_id=run_id)
+            store.finish_run(run_id, status="complete", wall_time_s=1.5,
+                             cells_total=4, hits_memory=1, hits_store=2,
+                             computed=1)
+            (run,) = store.runs()
+            assert run["run_id"] == run_id
+            assert run["status"] == "complete"
+            assert run["manifest"]["backend"] == "numpy"
+            assert run["cells_total"] == 4
+            assert run["hits_store"] == 2
+            assert run["wall_time_s"] == 1.5
+
+    def test_stats_aggregates(self, tmp_path):
+        with ExperimentStore(tmp_path / "s.db") as store:
+            store.put_cell("k1", make_cell(policy="GA"))
+            store.put_cell("k2", make_cell(policy="GA", benchmark="jpeg"))
+            store.put_cell("k3", make_cell(policy="DMA-SR"))
+            stats = store.stats()
+            assert stats["cells"] == 3
+            assert stats["cells_by_policy"] == {"GA": 2, "DMA-SR": 1}
+            assert stats["benchmarks"] == 2
+            assert stats["schema_version"] == schema.SCHEMA_VERSION
+            assert stats["size_bytes"] > 0
+
+
+class TestMaintenance:
+    def test_gc_horizon(self, tmp_path):
+        with ExperimentStore(tmp_path / "s.db") as store:
+            store.put_cell("old", make_cell())
+            removed = store.gc(older_than_s=-1.0)  # everything is "old"
+            assert removed["cells"] == 1
+            assert len(store) == 0
+
+    def test_gc_without_horizon_keeps_everything(self, tmp_path):
+        with ExperimentStore(tmp_path / "s.db") as store:
+            store.put_cell("k1", make_cell())
+            removed = store.gc()
+            assert removed == {"cells": 0, "runs": 0}
+            assert len(store) == 1
+
+    def test_export_jsonl(self, tmp_path):
+        with ExperimentStore(tmp_path / "s.db") as store:
+            store.put_cell("k1", make_cell())
+            store.put_cell("k2", make_cell(benchmark="jpeg"))
+            buf = io.StringIO()
+            assert store.export(buf) == 2
+        lines = [json.loads(line) for line in buf.getvalue().splitlines()]
+        assert {line["benchmark"] for line in lines} == {"adpcm", "jpeg"}
+        assert all("cell" in line and "key" in line for line in lines)
+
+    def test_gc_keeps_runs_referenced_by_live_cells(self, tmp_path):
+        import sqlite3
+
+        path = tmp_path / "s.db"
+        with ExperimentStore(path) as store:
+            run_id = store.begin_run({"k": "v"})
+            store.put_cell("live", make_cell(), run_id=run_id)
+            store.finish_run(run_id)
+            # Age the *run* past the horizon but keep its cell fresh.
+            conn = sqlite3.connect(path)
+            with conn:
+                conn.execute("UPDATE runs SET started_at = 0, finished_at = 1")
+            conn.close()
+            removed = store.gc(older_than_s=3600)
+            assert removed == {"cells": 0, "runs": 0}  # provenance survives
+            (run,) = store.runs()
+            assert run["run_id"] == run_id
+
+    def test_merge_refuses_stale_source_without_destroying_it(
+        self, tmp_path, monkeypatch
+    ):
+        src_path = tmp_path / "old.db"
+        with ExperimentStore(src_path) as src:
+            src.put_cell("k1", make_cell())
+        monkeypatch.setattr(schema, "SCHEMA_VERSION", schema.SCHEMA_VERSION + 1)
+        with ExperimentStore(tmp_path / "dest.db") as dest:
+            with pytest.raises(ExperimentError, match="cannot merge"):
+                dest.merge_from(src_path)
+        monkeypatch.undo()
+        with ExperimentStore(src_path) as src:  # source data intact
+            assert len(src) == 1
+
+    def test_merge_unions_and_is_idempotent(self, tmp_path):
+        a_path, b_path = tmp_path / "a.db", tmp_path / "b.db"
+        cell_a, cell_b = make_cell(), make_cell(benchmark="jpeg")
+        with ExperimentStore(a_path) as a:
+            a.put_cell("ka", cell_a)
+            a.put_cell("shared", cell_a)
+        with ExperimentStore(b_path) as b:
+            b.put_cell("kb", cell_b)
+            b.put_cell("shared", cell_a)
+        with ExperimentStore(tmp_path / "m.db") as merged:
+            assert merged.merge_from(a_path) == 2
+            assert merged.merge_from(b_path) == 1  # 'shared' already there
+            assert merged.merge_from(b_path) == 0  # idempotent
+            assert len(merged) == 3
+            assert merged.get_cell("kb") == cell_b
+
+
+class TestConcurrentWriters:
+    def test_parallel_writers_one_file(self, tmp_path):
+        """Shards pointed at one store file must not corrupt it."""
+        path = tmp_path / "s.db"
+        errors = []
+
+        def writer(offset: int) -> None:
+            try:
+                with ExperimentStore(path) as store:
+                    for i in range(20):
+                        store.put_cell(f"k{offset}-{i}", make_cell(shifts=i))
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(t,)) for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        with ExperimentStore(path) as store:
+            assert len(store) == 80

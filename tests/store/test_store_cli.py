@@ -1,0 +1,92 @@
+"""Tests for the ``repro-store`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.store import ExperimentStore
+from repro.store.cli import main_store
+
+from tests.store.test_store import make_cell
+
+
+@pytest.fixture()
+def store_path(tmp_path):
+    path = tmp_path / "s.db"
+    with ExperimentStore(path) as store:
+        run_id = store.begin_run({"backend": "numpy"})
+        store.put_cell("aaaa1111", make_cell(), run_id=run_id)
+        store.put_cell("bbbb2222", make_cell(benchmark="jpeg", policy="GA"),
+                       run_id=run_id)
+        store.finish_run(run_id, status="complete", wall_time_s=0.1,
+                         cells_total=2, hits_memory=0, hits_store=0,
+                         computed=2)
+    return path
+
+
+class TestSubcommands:
+    def test_ls(self, store_path, capsys):
+        assert main_store(["--store", str(store_path), "ls"]) == 0
+        out = capsys.readouterr().out
+        assert "2 stored cell(s)" in out
+        assert "adpcm" in out and "jpeg" in out
+
+    def test_ls_limit_truncates(self, store_path, capsys):
+        assert main_store(["--store", str(store_path), "ls", "--limit", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "1 more" in out
+
+    def test_stats(self, store_path, capsys):
+        assert main_store(["--store", str(store_path), "stats"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["cells"] == 2
+        assert stats["runs"] == {"complete": 1}
+
+    def test_runs(self, store_path, capsys):
+        assert main_store(["--store", str(store_path), "runs"]) == 0
+        (run,) = json.loads(capsys.readouterr().out)
+        assert run["status"] == "complete"
+        assert run["manifest"] == {"backend": "numpy"}
+
+    def test_gc(self, store_path, capsys):
+        assert main_store(["--store", str(store_path), "gc",
+                           "--older-than", "-1"]) == 0
+        assert "removed 2 cell(s)" in capsys.readouterr().out
+
+    def test_export_stdout_and_file(self, store_path, capsys, tmp_path):
+        assert main_store(["--store", str(store_path), "export"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert len(lines) == 2
+        out_file = tmp_path / "dump.jsonl"
+        assert main_store(["--store", str(store_path), "export",
+                           "--out", str(out_file)]) == 0
+        assert len(out_file.read_text().splitlines()) == 2
+
+    def test_merge(self, store_path, tmp_path, capsys):
+        dest = tmp_path / "dest.db"
+        assert main_store(["--store", str(dest), "merge", str(store_path)]) == 0
+        assert "+2 cell(s)" in capsys.readouterr().out
+        with ExperimentStore(dest) as store:
+            assert len(store) == 2
+
+
+class TestErrors:
+    def test_no_store_given(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_STORE", raising=False)
+        assert main_store(["ls"]) == 2
+        assert "no store given" in capsys.readouterr().err
+
+    def test_missing_store_file(self, tmp_path, capsys):
+        assert main_store(["--store", str(tmp_path / "nope.db"), "ls"]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_env_store_used(self, store_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE", str(store_path))
+        assert main_store(["stats"]) == 0
+        assert json.loads(capsys.readouterr().out)["cells"] == 2
+
+    def test_merge_missing_source(self, tmp_path, capsys):
+        dest = tmp_path / "dest.db"
+        assert main_store(["--store", str(dest), "merge",
+                           str(tmp_path / "ghost.db")]) == 2
+        assert "does not exist" in capsys.readouterr().err

@@ -61,7 +61,71 @@ class TestExperiment:
     def test_save(self, tmp_path, capsys):
         assert main_experiment(["table1", "--save", str(tmp_path)]) == 0
         assert (tmp_path / "table1.txt").exists()
+        assert (tmp_path / "table1.json").exists()
 
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main_experiment(["fig99"])
+
+
+class TestExperimentStoreFlags:
+    @pytest.fixture(autouse=True)
+    def smoke_profile(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "smoke")
+
+    def test_store_then_from_store(self, tmp_path, capsys):
+        from repro.eval.runner import clear_cell_cache, last_matrix_stats
+
+        store = str(tmp_path / "s.db")
+        clear_cell_cache()
+        assert main_experiment(["fig6", "--store", store]) == 0
+        assert last_matrix_stats().computed > 0
+        clear_cell_cache()
+        assert main_experiment(["fig6", "--store", store,
+                                "--from-store"]) == 0
+        stats = last_matrix_stats()
+        assert stats.computed == 0 and stats.hits_store == stats.cells_total
+        assert "store hit(s)" in capsys.readouterr().err
+
+    def test_from_store_requires_store(self, monkeypatch):
+        monkeypatch.delenv("REPRO_STORE", raising=False)
+        with pytest.raises(SystemExit):
+            main_experiment(["fig6", "--from-store"])
+
+    def test_from_store_cold_store_fails_cleanly(self, tmp_path, capsys):
+        from repro.eval.runner import clear_cell_cache
+
+        clear_cell_cache()
+        rc = main_experiment(["fig6", "--store", str(tmp_path / "cold.db"),
+                              "--from-store"])
+        assert rc == 2  # clean exit code, no traceback
+        assert "missing from the store" in capsys.readouterr().err
+
+    def test_shard_populates_store_without_report(self, tmp_path, capsys):
+        from repro.eval.runner import clear_cell_cache
+        from repro.store import ExperimentStore
+
+        store = tmp_path / "s.db"
+        clear_cell_cache()
+        assert main_experiment(["fig6", "--store", str(store),
+                                "--shard", "0/2"]) == 0
+        out = capsys.readouterr().out
+        assert "shard 0/2" in out
+        assert "Fig. 6" not in out  # no report on shard runs
+        with ExperimentStore(store) as s:
+            assert 0 < len(s) < 32  # a strict, non-empty slice
+
+    def test_shard_requires_store(self, monkeypatch):
+        monkeypatch.delenv("REPRO_STORE", raising=False)
+        with pytest.raises(SystemExit):
+            main_experiment(["fig6", "--shard", "0/2"])
+
+    def test_shard_rejects_non_matrix_experiment(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main_experiment(["table1", "--store", str(tmp_path / "s.db"),
+                             "--shard", "0/2"])
+
+    def test_bad_shard_designator(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main_experiment(["fig6", "--store", str(tmp_path / "s.db"),
+                             "--shard", "2/2"])
