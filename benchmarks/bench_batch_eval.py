@@ -15,8 +15,15 @@ batched-evaluation layer replaced:
   *inside* the timed region, as the searchers pay it per generation.
 * **generation** — the GA's own pre/post comparison: per-individual
   Python buffer fill + ``cost_from_arrays`` (the deleted ``fitness``
-  loop) vs stacking + one batch pass. Reported for tracking, not gated
-  (the kernel work is identical; the win is per-candidate overhead).
+  loop) vs stacking + one batch pass. Gated as *non-regression* at
+  1.3x rather than the 2x the other modes clear comfortably: both
+  paths pay the identical per-(candidate, DBC) grouping sort — the
+  irreducible kernel — so the batched win is bounded by the old loop's
+  per-candidate call overhead (40-60% of its time at suite-median
+  sizes) and measures ~1.6-2.2x depending on machine load; the gate
+  sits below that band so a loaded CI runner cannot flake on it. The
+  chain/map stacking fast path and the bincount boundary derivation
+  already shaved what the batch side controls.
 * **neighbor** — price transposition moves on one candidate (the
   annealing/2-opt inner loop). Baseline: full rescoring through the
   scalar array kernel per move. Incremental:
@@ -96,8 +103,13 @@ def main(argv=None) -> int:
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--min-speedup", type=float, default=5.0,
-                        help="fail below this speedup on either mode "
-                             "(0 disables)")
+                        help="fail below this speedup on the population/"
+                             "neighbor modes (0 disables)")
+    parser.add_argument("--min-generation-speedup", type=float, default=1.3,
+                        help="non-regression gate for the generation mode, "
+                             "margined below the ~1.6x worst observed "
+                             "measurement so loaded CI runners don't flake "
+                             "(see module docstring; 0 disables)")
     parser.add_argument("--out", default="BENCH_batch.json")
     args = parser.parse_args(argv)
 
@@ -170,7 +182,8 @@ def main(argv=None) -> int:
         "scalar_s": t_old,
         "batch_s": t_new,
         "speedup": t_old / t_new,
-        "gated": False,
+        "gated": bool(args.min_generation_speedup),
+        "min_speedup": args.min_generation_speedup,
     }
 
     # -- neighbor-move pricing -----------------------------------------------
@@ -226,19 +239,22 @@ def main(argv=None) -> int:
     out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     print(f"wrote {out}")
 
+    failures = []
     if args.min_speedup:
-        failures = [
-            row["mode"]
+        failures += [
+            f"{row['mode']} ({row['speedup']:.1f}x < {args.min_speedup}x)"
             for row in (population_row, neighbor_row)
             if row["speedup"] < args.min_speedup
         ]
-        if failures:
-            print(
-                f"FAIL: {', '.join(failures)} below required "
-                f"{args.min_speedup}x",
-                file=sys.stderr,
-            )
-            return 1
+    if args.min_generation_speedup and \
+            generation_row["speedup"] < args.min_generation_speedup:
+        failures.append(
+            f"generation ({generation_row['speedup']:.1f}x < "
+            f"{args.min_generation_speedup}x)"
+        )
+    if failures:
+        print(f"FAIL: {', '.join(failures)}", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -1,0 +1,206 @@
+#!/usr/bin/env python
+"""Micro-benchmark: the multi-port fast path (2-D monoid scan).
+
+PR 1's engine left multi-port nearest-port replay at 2.6-4.3x over the
+reference backend (vs ~17x single-port), and ``evaluate_batch`` scored
+nearest-port populations one row at a time. The multi-port tentpole
+closed both gaps; this benchmark tracks them:
+
+* **replay** — 1-D trace replay per port count: reference (per-access
+  Python) vs numpy (per-gap transition tables + blocked monoid scan).
+  Gated at ``--min-replay-speedup`` (default 8x) for the gate ports
+  (default 2 and 4 — the packed-table scan; 8 ports use the explicit
+  map representation and are reported ungated).
+* **population** — nearest-port ``evaluate_batch`` over a GA-sized
+  candidate matrix vs the retired per-row fallback (one 1-D engine run
+  per candidate, reconstructed here as the baseline). Gated at
+  ``--min-batch-speedup`` (default 5x) at ``--population`` candidates.
+
+Every timed pair is first checked *bit-identical* — against the
+reference backend, not just between the two timed paths — so the
+speedups always compare the same numbers. Results go to
+``BENCH_multiport.json`` for the PR-to-PR trajectory; non-zero exit on
+a missed gate lets CI enforce it.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_multiport.py
+    PYTHONPATH=src python benchmarks/bench_multiport.py \
+        --ports 2 4 8 --population 200 --out results/BENCH_multiport.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.engine import ShiftRequest, evaluate_batch, get_backend
+from repro.engine.numpy_backend import NumpyBackend
+
+
+def best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def replay_rows(args) -> list[dict]:
+    reference = get_backend("reference")
+    vectorized = get_backend("numpy")
+    rng = np.random.default_rng(args.seed)
+    rows = []
+    for ports in args.ports:
+        request = ShiftRequest(
+            dbc=rng.integers(0, args.dbcs, args.accesses),
+            slot=rng.integers(0, args.domains, args.accesses),
+            num_dbcs=args.dbcs,
+            domains=args.domains,
+            ports=ports,
+        )
+        assert reference.run(request) == vectorized.run(request)
+        t_ref = best_of(lambda: reference.run(request), args.repeats)
+        t_vec = best_of(lambda: vectorized.run(request), args.repeats)
+        rows.append({
+            "mode": "replay",
+            "ports": ports,
+            "reference_s": t_ref,
+            "numpy_s": t_vec,
+            "reference_accesses_per_s": args.accesses / t_ref,
+            "numpy_accesses_per_s": args.accesses / t_vec,
+            "speedup": t_ref / t_vec,
+            "gated": ports in args.gate_ports,
+        })
+        print(f"replay ports={ports}: "
+              f"reference {rows[-1]['reference_accesses_per_s']:,.0f} acc/s, "
+              f"numpy {rows[-1]['numpy_accesses_per_s']:,.0f} acc/s, "
+              f"speedup {rows[-1]['speedup']:.1f}x")
+    return rows
+
+
+def population_rows(args) -> list[dict]:
+    rng = np.random.default_rng(args.seed + 1)
+    codes = rng.integers(0, args.variables, args.trace)
+    dbc_of = rng.integers(0, args.dbcs, (args.population, args.variables))
+    pos_of = rng.integers(0, args.domains, (args.population, args.variables))
+    backend = NumpyBackend()
+    reference = get_backend("reference")
+    rows = []
+    for ports in args.gate_ports:
+        dbc = dbc_of[:, codes]
+        slot = pos_of[:, codes]
+
+        def per_row():
+            # The retired fallback: one full 1-D engine run per candidate.
+            return [
+                backend.run(ShiftRequest(
+                    dbc=dbc[i], slot=slot[i], num_dbcs=args.dbcs,
+                    domains=args.domains, ports=ports,
+                )).shifts
+                for i in range(args.population)
+            ]
+
+        def population():
+            return evaluate_batch(
+                codes, dbc_of, pos_of, num_dbcs=args.dbcs,
+                domains=args.domains, ports=ports,
+            )
+
+        want = [
+            reference.run(ShiftRequest(
+                dbc=dbc[i], slot=slot[i], num_dbcs=args.dbcs,
+                domains=args.domains, ports=ports,
+            )).shifts
+            for i in range(args.population)
+        ]
+        assert per_row() == want
+        assert list(population()) == want  # bit-identical to the oracle
+        t_row = best_of(per_row, args.repeats)
+        t_pop = best_of(population, args.repeats)
+        rows.append({
+            "mode": "population",
+            "ports": ports,
+            "candidates": args.population,
+            "per_row_s": t_row,
+            "population_s": t_pop,
+            "per_row_candidates_per_s": args.population / t_row,
+            "population_candidates_per_s": args.population / t_pop,
+            "speedup": t_row / t_pop,
+            "gated": True,
+        })
+        print(f"population ports={ports} K={args.population}: "
+              f"per-row {t_row * 1e3:.1f} ms, "
+              f"population {t_pop * 1e3:.1f} ms, "
+              f"speedup {rows[-1]['speedup']:.1f}x")
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--accesses", type=int, default=200_000,
+                        help="replay trace length")
+    parser.add_argument("--dbcs", type=int, default=8)
+    parser.add_argument("--domains", type=int, default=128)
+    parser.add_argument("--ports", type=int, nargs="+", default=[2, 4, 8],
+                        help="port counts for the replay rows")
+    parser.add_argument("--gate-ports", type=int, nargs="+", default=[2, 4],
+                        help="port counts the gates apply to")
+    # The population workload mirrors bench_batch_eval's suite-median
+    # GA generation (~32 variables, ~250 accesses, 200 candidates).
+    parser.add_argument("--population", type=int, default=200)
+    parser.add_argument("--variables", type=int, default=32)
+    parser.add_argument("--trace", type=int, default=250,
+                        help="population trace length")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--min-replay-speedup", type=float, default=8.0,
+                        help="fail below this on gate ports (0 disables)")
+    parser.add_argument("--min-batch-speedup", type=float, default=5.0,
+                        help="fail below this on the population rows "
+                             "(0 disables)")
+    parser.add_argument("--out", default="BENCH_multiport.json")
+    args = parser.parse_args(argv)
+
+    rows = replay_rows(args) + population_rows(args)
+    payload = {
+        "benchmark": "multiport_fast_path",
+        "accesses": args.accesses,
+        "dbcs": args.dbcs,
+        "domains": args.domains,
+        "population": args.population,
+        "variables": args.variables,
+        "trace": args.trace,
+        "repeats": args.repeats,
+        "results": rows,
+    }
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {out}")
+
+    failures = []
+    for row in rows:
+        if not row["gated"]:
+            continue
+        bar = (args.min_replay_speedup if row["mode"] == "replay"
+               else args.min_batch_speedup)
+        if bar and row["speedup"] < bar:
+            failures.append(
+                f"{row['mode']} ports={row['ports']} "
+                f"({row['speedup']:.1f}x < {bar}x)"
+            )
+    if failures:
+        print(f"FAIL: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -58,7 +58,7 @@ from repro.trace import (
     write_traces,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "__version__",

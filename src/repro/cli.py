@@ -193,6 +193,11 @@ def main_experiment(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--search-scale", type=float, default=None,
                         help="multiply the GA population and RW iteration "
                              "budgets (default: profile / REPRO_SEARCH_SCALE)")
+    parser.add_argument("--ports", type=int, nargs="+", default=None,
+                        metavar="P",
+                        help="port counts swept by the multi-port "
+                             "experiments, e.g. --ports 1 2 4 8 (default: "
+                             "profile / REPRO_PORTS)")
     parser.add_argument("--store", metavar="PATH", default=None,
                         help="persistent experiment store (default: "
                              "REPRO_STORE; cells are read from and written "
@@ -214,6 +219,10 @@ def main_experiment(argv: Sequence[str] | None = None) -> int:
         if not math.isfinite(args.search_scale) or args.search_scale <= 0:
             parser.error("--search-scale must be a finite number > 0")
         profile = replace(profile, search_scale=args.search_scale)
+    if args.ports is not None:
+        if min(args.ports) < 1:
+            parser.error("--ports must list port counts >= 1")
+        profile = replace(profile, ports=tuple(args.ports))
     if args.store is not None:
         profile = replace(profile, store=args.store)
     if args.from_store:

@@ -80,6 +80,8 @@ class GeneticPlacer:
         capacity: int,
         config: GAConfig | None = None,
         rng: int | np.random.Generator | None = None,
+        ports: int = 1,
+        domains: int | None = None,
     ) -> None:
         if sequence.num_variables > num_dbcs * capacity:
             raise CapacityError(
@@ -89,6 +91,13 @@ class GeneticPlacer:
         self.sequence = sequence
         self.num_dbcs = num_dbcs
         self.capacity = capacity
+        # Multi-port fitness: score against the real track geometry. The
+        # track length defaults to the DBC capacity (they are the same
+        # quantity in this library's geometry).
+        self.ports = ports
+        self.domains = domains if domains is not None else (
+            capacity if ports > 1 else None
+        )
         self.config = config or GAConfig()
         self.config.validate()
         self.rng = ensure_rng(rng)
@@ -108,10 +117,11 @@ class GeneticPlacer:
             individuals, self.sequence.num_variables
         )
         costs = evaluate_batch(
-            self._codes, dbc_of, pos_of, num_dbcs=self.num_dbcs
+            self._codes, dbc_of, pos_of, num_dbcs=self.num_dbcs,
+            domains=self.domains, ports=self.ports,
         )
         self.evaluations += len(individuals)
-        return [int(c) for c in costs]
+        return costs.tolist()
 
     def fitness(self, individual: Individual) -> int:
         """Shift cost of an individual (lower is better)."""

@@ -35,19 +35,26 @@ def annealed_order(
     iterations: int = 2000,
     start_temperature: float | None = None,
     rng: int | np.random.Generator | None = None,
+    ports: int = 1,
+    domains: int | None = None,
 ) -> list[str]:
     """Simulated annealing over intra-DBC permutations.
 
     Geometric cooling; moves are random transpositions (the GA's second
     mutation). ``start_temperature`` defaults to a scale estimated from
     the trace (mean positional distance), which keeps acceptance rates
-    sane across instance sizes.
+    sane across instance sizes. ``ports > 1`` anneals against the true
+    multi-port cost (``domains`` defaults to the number of variables —
+    the dense track — but should be the real track length): moves are
+    then priced by :class:`DeltaCost`'s exact per-DBC recomposition.
     """
     if iterations < 1:
         raise SolverError(f"iterations must be >= 1, got {iterations}")
     variables = list(variables)
     if len(variables) <= 2:
         return ofu_order(sequence, variables)
+    if ports > 1 and domains is None:
+        domains = len(variables)
     gen = ensure_rng(rng)
     local = sequence.restricted_to(variables)
 
@@ -58,7 +65,8 @@ def annealed_order(
     for slot, v in enumerate(current):
         pos_of[code_of[v]] = slot
     evaluator = DeltaCost(
-        local.codes, np.zeros(local.num_variables, dtype=np.int64), pos_of
+        local.codes, np.zeros(local.num_variables, dtype=np.int64), pos_of,
+        domains=domains, ports=ports,
     )
     current_cost = evaluator.cost
     best, best_cost = list(current), current_cost

@@ -25,18 +25,29 @@ _TWO_OPT_MAX_ACCESSES = 4000
 _TWO_OPT_MAX_PASSES = 4
 
 
-def tsp_order(sequence: AccessSequence, variables: Sequence[str]) -> list[str]:
-    """Max-weight path construction followed by bounded 2-opt polishing."""
+def tsp_order(
+    sequence: AccessSequence,
+    variables: Sequence[str],
+    ports: int = 1,
+    domains: int | None = None,
+) -> list[str]:
+    """Max-weight path construction followed by bounded 2-opt polishing.
+
+    ``ports > 1`` polishes against the true multi-port cost (``domains``
+    defaults to the number of variables, the dense track).
+    """
     variables = list(variables)
     if len(variables) <= 1:
         return variables
+    if ports > 1 and domains is None:
+        domains = len(variables)
     local = sequence.restricted_to(variables)
     order = _max_weight_path(local, variables)
     if (
         len(variables) <= _TWO_OPT_MAX_VARS
         and len(local) <= _TWO_OPT_MAX_ACCESSES
     ):
-        order = _two_opt(local, order)
+        order = _two_opt(local, order, ports, domains)
     return order
 
 
@@ -98,7 +109,12 @@ def _max_weight_path(local: AccessSequence, variables: list[str]) -> list[str]:
     return ordered
 
 
-def _two_opt(local: AccessSequence, order: list[str]) -> list[str]:
+def _two_opt(
+    local: AccessSequence,
+    order: list[str],
+    ports: int = 1,
+    domains: int | None = None,
+) -> list[str]:
     """First-improvement 2-opt, scoring whole candidate rows per batch.
 
     Semantically identical to evaluating each ``(i, j)`` reversal one at
@@ -121,7 +137,10 @@ def _two_opt(local: AccessSequence, order: list[str]) -> list[str]:
 
     best = code_of.copy()
     best_cost = int(
-        evaluate_batch(codes, dbc_of, positions(best)[None, :], num_dbcs=1)[0]
+        evaluate_batch(
+            codes, dbc_of, positions(best)[None, :], num_dbcs=1,
+            domains=domains, ports=ports,
+        )[0]
     )
     # One reusable all-DBC-0 matrix for every batch in the inner loop.
     dbc_rows = np.zeros((max(n - 1, 1), local.num_variables), dtype=np.int64)
@@ -143,7 +162,8 @@ def _two_opt(local: AccessSequence, order: list[str]) -> list[str]:
                 cols = np.where(rev, i + js[:, None] - spans, spans)
                 pos[row, best[cols]] = spans
                 costs = evaluate_batch(
-                    codes, dbc_rows[: js.size], pos, num_dbcs=1
+                    codes, dbc_rows[: js.size], pos, num_dbcs=1,
+                    domains=domains, ports=ports,
                 )
                 better = np.flatnonzero(costs < best_cost)
                 if better.size == 0:

@@ -60,14 +60,20 @@ def random_walk_search(
     iterations: int = DEFAULT_ITERATIONS,
     rng: int | np.random.Generator | None = None,
     history_stride: int = 1000,
+    ports: int = 1,
+    domains: int | None = None,
 ) -> RandomWalkResult:
     """Best of ``iterations`` random placements.
 
     ``history_stride`` controls how often the best-so-far cost is sampled
-    into the result's history (for convergence plots).
+    into the result's history (for convergence plots). ``ports > 1``
+    scores candidates under the real multi-port geometry (``domains``
+    defaults to the DBC capacity, the track length in this library).
     """
     if iterations < 1:
         raise SolverError(f"iterations must be >= 1, got {iterations}")
+    if ports > 1 and domains is None:
+        domains = capacity
     gen = ensure_rng(rng)
     codes = sequence.codes
     best_cost: int | None = None
@@ -81,7 +87,10 @@ def random_walk_search(
             for _ in range(chunk)
         ]
         dbc_of, pos_of = stack_placement_lists(sequence, batch)
-        costs = evaluate_batch(codes, dbc_of, pos_of, num_dbcs=num_dbcs)
+        costs = evaluate_batch(
+            codes, dbc_of, pos_of, num_dbcs=num_dbcs,
+            domains=domains, ports=ports,
+        )
         for k, cost in enumerate(costs):
             cost = int(cost)
             if best_cost is None or cost < best_cost:

@@ -26,10 +26,13 @@ enforce.
 
 from __future__ import annotations
 
+from bisect import bisect_left
+from itertools import chain
+
 import numpy as np
 
-from repro.engine.semantics import PortPolicy, port_positions
-from repro.engine.types import ShiftRequest
+from repro.engine.numpy_backend import nearest_costs_flat
+from repro.engine.semantics import PortPolicy, port_boundaries, port_positions
 from repro.errors import SimulationError
 
 __all__ = ["DeltaCost", "evaluate_batch", "stack_candidate_arrays"]
@@ -62,21 +65,18 @@ def stack_candidate_arrays(
         return dbc_of, pos_of
     # Per-list bookkeeping over the flattened population: which slot run
     # each element falls in, and that list's DBC index in its candidate.
-    lists_per = np.fromiter(
-        (len(lists) for lists in candidates), dtype=np.int64, count=k
-    )
-    sizes = np.fromiter(
-        (len(d) for lists in candidates for d in lists),
-        dtype=np.int64,
-        count=int(lists_per.sum()),
-    )
-    flat = (
-        (c for lists in candidates for d in lists for c in d)
-        if code_of is None
-        else (code_of(c) for lists in candidates for d in lists for c in d)
-    )
+    # chain/map keep the flattening inside the C iterator protocol — this
+    # is the GA's per-generation encoding step, where generator-expression
+    # overhead was most of the stacking cost.
+    lists_per = np.fromiter(map(len, candidates), dtype=np.int64, count=k)
+    num_lists = int(lists_per.sum())
+    flat_lists = chain.from_iterable(candidates)
+    sizes = np.fromiter(map(len, flat_lists), dtype=np.int64, count=num_lists)
+    flat = chain.from_iterable(chain.from_iterable(candidates))
+    if code_of is not None:
+        flat = map(code_of, flat)
     codes = np.fromiter(flat, dtype=np.int64, count=k * num_vars)
-    list_index = np.arange(lists_per.sum(), dtype=np.int64)
+    list_index = np.arange(num_lists, dtype=np.int64)
     candidate_start = np.repeat(np.cumsum(lists_per) - lists_per, lists_per)
     dbc_vals = np.repeat(list_index - candidate_start, sizes)
     element_index = np.arange(k * num_vars, dtype=np.int64)
@@ -120,6 +120,38 @@ _FLAT_CHUNK_ELEMENTS = 32768
 _FLAT_MAX_ACCESSES = 512
 
 
+def _sorted_chunks(dbc: np.ndarray, slot: np.ndarray, num_dbcs: int):
+    """Yield ``(start, rows, sorted_slots, first_idx)`` per row chunk.
+
+    The shared flattening step of both population kernels: stable-sort
+    each chunk by ``row * num_dbcs + dbc`` so every (candidate, DBC)
+    subsequence is one contiguous run in trace order — row ``r`` of a
+    chunk occupies the sorted range ``[r*n, (r+1)*n)``. Chunks bound
+    both the key width (radix range) and the element count (the radix
+    sort's bucket scatter degrades sharply once its working set falls
+    out of cache). Group boundaries come from key counts, not from
+    comparing gathered keys: runs start at the exclusive prefix sums of
+    the key histogram.
+    """
+    k, n = dbc.shape
+    rows_per_chunk = max(
+        1, min(_FLAT_KEY_LIMIT // num_dbcs, _FLAT_CHUNK_ELEMENTS // n)
+    )
+    for start in range(0, k, rows_per_chunk):
+        cd = dbc[start : start + rows_per_chunk]
+        cs = slot[start : start + rows_per_chunk]
+        rows = cd.shape[0]
+        key = (
+            np.arange(rows, dtype=np.int64)[:, None] * num_dbcs + cd
+        ).ravel()
+        key = key.astype(np.uint16) if rows * num_dbcs <= 0xFFFF + 1 else key
+        order = np.argsort(key, kind="stable")
+        ss = cs.ravel()[order]
+        counts = np.bincount(key, minlength=rows * num_dbcs)
+        first_idx = (np.cumsum(counts) - counts)[counts > 0]
+        yield start, rows, ss, first_idx
+
+
 def evaluate_batch(
     codes: np.ndarray,
     dbc_of: np.ndarray,
@@ -141,11 +173,11 @@ def evaluate_batch(
     through an engine backend with default (cold, offset-0) initial
     state.
 
-    The single-port and STATIC paths are fully vectorized over the whole
-    population. The nearest-port multi-port path scores rows through the
-    1-D vectorized kernel (its ``(K, N, ports)`` intermediates would not
-    pay for themselves on realistic population sizes); it is never the
-    population hot path — the searchers all score single-port warm.
+    All paths are fully vectorized over the whole population. Single
+    port and STATIC flatten into one masked-``diff`` pass; nearest-port
+    multi-port flattens the candidate matrix into one long run-sorted
+    array and resolves every row's port-choice recurrences with a single
+    2-D monoid scan (see :func:`_batch_nearest`).
     """
     codes = np.ascontiguousarray(codes, dtype=np.int64)
     if codes.ndim != 1:
@@ -167,9 +199,17 @@ def evaluate_batch(
         )
     dbc = dbc_of[:, codes]
     slot = pos_of[:, codes]
-    if int(dbc.min()) < 0 or int(dbc.max()) >= num_dbcs:
+    # Range checks run against the small (K, V) matrices first — a
+    # trace-length factor fewer passes than checking the gathered
+    # arrays. The contract only constrains entries the trace actually
+    # gathers (placeholder values on never-accessed variables are
+    # legal), so a matrix-level violation falls back to the gathered
+    # arrays before raising.
+    if (int(dbc_of.min()) < 0 or int(dbc_of.max()) >= num_dbcs) and (
+        int(dbc.min()) < 0 or int(dbc.max()) >= num_dbcs
+    ):
         raise SimulationError(f"dbc indices must lie in [0, {num_dbcs})")
-    lo, hi = int(slot.min()), int(slot.max())
+    lo, hi = int(pos_of.min()), int(pos_of.max())
     if domains is None:
         if ports > 1:
             raise SimulationError(
@@ -184,13 +224,16 @@ def evaluate_batch(
             )
         domains = hi + 1
     if lo < 0 or hi >= domains:
-        bad = lo if lo < 0 else hi
-        raise SimulationError(
-            f"location {bad} outside track of {domains} domains"
-        )
+        # Same fallback as the DBC check: only gathered slots must fit.
+        lo, hi = int(slot.min()), int(slot.max())
+        if lo < 0 or hi >= domains:
+            bad = lo if lo < 0 else hi
+            raise SimulationError(
+                f"location {bad} outside track of {domains} domains"
+            )
     if ports == 1 or policy is PortPolicy.STATIC:
         return _batch_anchored(dbc, slot, num_dbcs, domains, ports, warm_start)
-    return _batch_per_row(dbc, slot, num_dbcs, domains, ports, policy, warm_start)
+    return _batch_nearest(dbc, slot, num_dbcs, domains, ports, warm_start)
 
 
 def _batch_anchored(
@@ -232,26 +275,10 @@ def _batch_anchored(
                 total += int(np.abs(ss[first] - anchor).sum())
             totals[i] = total
         return totals
-    # Bound both the key width (radix range) and the chunk's element
-    # count — the radix sort's bucket scatter degrades sharply once its
-    # working set falls out of cache.
-    rows_per_chunk = max(
-        1, min(_FLAT_KEY_LIMIT // num_dbcs, _FLAT_CHUNK_ELEMENTS // n)
-    )
-    for start in range(0, k, rows_per_chunk):
-        cd = dbc[start : start + rows_per_chunk]
-        cs = slot[start : start + rows_per_chunk]
-        rows = cd.shape[0]
-        key = (
-            np.arange(rows, dtype=np.int64)[:, None] * num_dbcs + cd
-        ).ravel()
-        key = key.astype(np.uint16) if rows * num_dbcs <= 0xFFFF + 1 else key
-        order = np.argsort(key, kind="stable")
-        ks = key[order]
-        ss = cs.ravel()[order]
-        same = ks[1:] == ks[:-1]  # same candidate AND same DBC
-        move = np.abs(np.diff(ss))
-        move[~same] = 0
+    for start, rows, ss, first_idx in _sorted_chunks(dbc, slot, num_dbcs):
+        move = np.diff(ss)
+        np.abs(move, out=move)
+        move[first_idx[1:] - 1] = 0  # run crossings
         if n == 1:
             chunk_totals = np.zeros(rows, dtype=np.int64)
         else:
@@ -264,61 +291,83 @@ def _batch_anchored(
         if not warm_start:
             # Cold start charges each DBC's first access its alignment
             # distance from port 0 (default offset-0 initial state).
-            first_cost = np.abs(ss - anchor)
-            np.putmask(first_cost[1:], same, 0)
-            chunk_totals = chunk_totals + np.add.reduceat(
-                first_cost, np.arange(0, rows * n, n)
+            np.add.at(
+                chunk_totals, first_idx // n, np.abs(ss[first_idx] - anchor)
             )
         totals[start : start + rows] = chunk_totals
     return totals
 
 
-def _batch_per_row(
+def _batch_nearest(
     dbc: np.ndarray,
     slot: np.ndarray,
     num_dbcs: int,
     domains: int,
     ports: int,
-    policy: PortPolicy,
     warm_start: bool,
 ) -> np.ndarray:
-    """Nearest-port rows, each through the 1-D vectorized kernel."""
-    from repro.engine.numpy_backend import NumpyBackend
+    """Nearest-port costs for all rows through one 2-D monoid scan.
 
-    backend = NumpyBackend()
-    totals = np.empty(dbc.shape[0], dtype=np.int64)
-    for i in range(dbc.shape[0]):
-        totals[i] = backend.run(
-            ShiftRequest(
-                dbc=dbc[i], slot=slot[i], num_dbcs=num_dbcs, domains=domains,
-                ports=ports, policy=policy, warm_start=warm_start,
-            )
-        ).shifts
+    The same flattening trick as :func:`_batch_anchored`, applied to the
+    sequential port-choice recurrence: stable-sorting the population by
+    ``row * num_dbcs + dbc`` makes every (candidate, DBC) subsequence a
+    contiguous run, and since each run's first access carries a
+    *constant* port map, one monoid scan over the whole flattened
+    population resolves every row's recurrence at once — candidates
+    cannot leak port state into each other, exactly as DBC runs cannot
+    in the 1-D kernel. Chunking keeps the sort key within radix range
+    and the scan's intermediates (the per-access transition maps and
+    in-block prefixes) cache-resident; past the chunk budget the loop
+    degrades gracefully to a few rows — eventually one — per pass, which
+    still beats per-row engine calls (no per-request validation, no
+    per-row result objects). This retired the old ``_batch_per_row``
+    fallback entirely.
+    """
+    k, n = dbc.shape
+    totals = np.empty(k, dtype=np.int64)
+    for start, rows, ss, first_idx in _sorted_chunks(dbc, slot, num_dbcs):
+        # Default initial state (offset 0, cold): the first target is the
+        # slot itself; warm start zeroes the first charge afterwards.
+        costs, _chosen = nearest_costs_flat(
+            ss, first_idx, ss[first_idx], domains, ports
+        )
+        if warm_start:
+            costs[first_idx] = 0
+        totals[start : start + rows] = np.add.reduceat(
+            costs, np.arange(0, rows * n, n)
+        )
     return totals
 
 
 class DeltaCost:
-    """Incremental warm-start single-port cost under a fixed partition.
+    """Incremental warm-start cost of neighbor moves under a fixed partition.
 
-    Compiles the trace once into the per-DBC adjacency structure: the
-    warm single-port cost of a placement is ``sum(w_ab * |pos[a] -
-    pos[b]|)`` over the pairs ``(a, b)`` of variables adjacent in some
-    DBC's access subsequence, with ``w_ab`` the number of times they are
-    adjacent. Because the pair structure depends only on the *partition*
-    (which DBC each variable lives in), any intra-DBC reordering can be
-    re-priced by touching just the pairs incident to the moved
-    variables — O(touched accesses) instead of O(trace) per move.
+    *Single port* (and STATIC, its cost-equivalent): compiles the trace
+    once into the per-DBC adjacency structure — the warm cost of a
+    placement is ``sum(w_ab * |pos[a] - pos[b]|)`` over the pairs ``(a,
+    b)`` of variables adjacent in some DBC's access subsequence, with
+    ``w_ab`` the number of times they are adjacent. Because the pair
+    structure depends only on the *partition* (which DBC each variable
+    lives in), any intra-DBC reordering can be re-priced by touching
+    just the pairs incident to the moved variables — O(touched accesses)
+    instead of O(trace) per move.
+
+    *Multi-port nearest* (``ports > 1``, requires ``domains``): port
+    choices carry sequential state, so the cost is not a pair sum — but
+    DBCs are still independent. The trace is compiled once into per-DBC
+    access subsequences, and a move re-replays exactly the touched DBCs
+    (exact per-DBC recomposition): O(accesses of touched DBCs) per move,
+    against O(trace) for a full rescore. The replay is the same
+    boundary-bisect arithmetic as the vectorized kernel, in pure Python
+    — touched subsequences are short and interpreter arithmetic beats
+    numpy's per-call setup at that size.
 
     ``delta`` prices a move without committing it; ``apply`` commits.
-    Moves that change a variable's DBC invalidate the pair structure and
-    are rejected. :meth:`resync` recomputes the total from scratch (the
+    Moves keep every variable's DBC by construction (only slots are
+    assigned). :meth:`resync` recomputes the total from scratch (the
     arithmetic is exact integers, so this is a verification hook, not a
-    drift correction).
-
-    The per-move work touches a handful of pairs, where interpreter
-    overhead beats numpy's per-call setup by an order of magnitude — so
-    the adjacency lives in plain lists and the pricing loops are pure
-    Python, with the compiled pair arrays kept only for ``resync``.
+    drift correction). Both modes agree exactly with the reference
+    backend's warm-start totals.
     """
 
     def __init__(
@@ -326,6 +375,10 @@ class DeltaCost:
         codes: np.ndarray,
         dbc_of: np.ndarray,
         pos_of: np.ndarray,
+        *,
+        domains: int | None = None,
+        ports: int = 1,
+        policy: PortPolicy = PortPolicy.NEAREST,
     ) -> None:
         codes = np.ascontiguousarray(codes, dtype=np.int64)
         dbc_of = np.ascontiguousarray(dbc_of, dtype=np.int64)
@@ -336,6 +389,22 @@ class DeltaCost:
             raise SimulationError("dbc_of/pos_of must have equal length")
         self._num_vars = int(dbc_of.size)
         self._pos: list[int] = pos_of.tolist()
+        self._replay = ports > 1 and policy is not PortPolicy.STATIC
+        if self._replay:
+            if domains is None:
+                raise SimulationError(
+                    "multi-port delta pricing needs the track length (domains)"
+                )
+            self._positions = port_positions(domains, ports)
+            self._bounds = port_boundaries(domains, ports)
+            self._dbc: list[int] = dbc_of.tolist()
+            #: DBC index -> its access subsequence (codes, trace order).
+            self._dbc_codes: dict[int, list[int]] = {}
+            for c in codes.tolist():
+                self._dbc_codes.setdefault(self._dbc[c], []).append(c)
+            self._dbc_cost: dict[int, int] = {}
+            self._total = self.resync()
+            return
         a, b, w = self._compile_pairs(codes, dbc_of)
         self._a, self._b, self._w = a, b, w
         #: code -> [(neighbour code, adjacency weight)]
@@ -371,6 +440,57 @@ class DeltaCost:
         pair_key, w = np.unique(lo * num_vars + hi, return_counts=True)
         return pair_key // num_vars, pair_key % num_vars, w.astype(np.int64)
 
+    # -- multi-port replay ---------------------------------------------------
+
+    def _replay_dbc(self, dbc_index: int) -> int:
+        """Warm-start nearest-port cost of one DBC at the current slots.
+
+        The scalar twin of the vectorized kernel: track the offset, pick
+        the nearest port by bisecting the decision boundaries, charge
+        the remaining distance. The first access aligns for free.
+        """
+        codes_d = self._dbc_codes.get(dbc_index)
+        if not codes_d:
+            return 0
+        pos = self._pos
+        positions = self._positions
+        bounds = self._bounds
+        slot = pos[codes_d[0]]
+        base = slot - positions[bisect_left(bounds, slot)]
+        total = 0
+        for c in codes_d[1:]:
+            target = pos[c] - base
+            j = bisect_left(bounds, target)
+            total += abs(target - positions[j])
+            base = pos[c] - positions[j]
+        return total
+
+    def _replay_delta(self, moves: dict[int, int]) -> int:
+        """Price ``moves`` by re-replaying exactly the touched DBCs."""
+        affected = {self._dbc[c] for c in moves}
+        pos = self._pos
+        saved = [(c, pos[c]) for c in moves]
+        for c, new_slot in moves.items():
+            pos[c] = new_slot
+        try:
+            priced = sum(
+                self._replay_dbc(d) - self._dbc_cost.get(d, 0)
+                for d in affected
+            )
+        finally:
+            for c, old_slot in saved:
+                pos[c] = old_slot
+        return priced
+
+    def _replay_commit(self, moves: dict[int, int]) -> int:
+        for c, new_slot in moves.items():
+            self._pos[c] = new_slot
+        for d in {self._dbc[c] for c in moves}:
+            fresh = self._replay_dbc(d)
+            self._total += fresh - self._dbc_cost.get(d, 0)
+            self._dbc_cost[d] = fresh
+        return self._total
+
     # -- pricing ------------------------------------------------------------
 
     @property
@@ -384,10 +504,12 @@ class DeltaCost:
     def delta(self, moves: dict[int, int]) -> int:
         """Cost change of assigning ``{code: new_slot}`` without committing.
 
-        All moved variables must keep their DBC (the pair structure is
+        All moved variables keep their DBC (the compiled structure is
         partition-specific); swapping or permuting slots within DBCs is
         exactly that.
         """
+        if self._replay:
+            return self._replay_delta(moves)
         pos = self._pos
         d = 0
         for c, new_c in moves.items():
@@ -407,8 +529,13 @@ class DeltaCost:
 
         Pass the ``delta`` already obtained from :meth:`delta` for the
         same moves to commit without re-pricing (accept loops price
-        first, then commit).
+        first, then commit). The multi-port mode re-replays the touched
+        DBCs either way — its per-DBC totals must stay current — so the
+        passed delta only skips work on the single-port path; results
+        are identical.
         """
+        if self._replay:
+            return self._replay_commit(moves)
         self._total += self.delta(moves) if delta is None else delta
         for c, new_c in moves.items():
             self._pos[c] = new_c
@@ -417,6 +544,10 @@ class DeltaCost:
     def swap_delta(self, code_a: int, code_b: int) -> int:
         """Price transposing two variables' slots (the annealing move)."""
         pos = self._pos
+        if self._replay:
+            return self._replay_delta(
+                {code_a: pos[code_b], code_b: pos[code_a]}
+            )
         pa, pb = pos[code_a], pos[code_b]
         d = 0
         for o, w in self._adj[code_a]:
@@ -433,15 +564,26 @@ class DeltaCost:
         """Commit the transposition and return the new total.
 
         ``delta`` takes a price already computed by :meth:`swap_delta`
-        for the same pair, skipping the second pricing pass.
+        for the same pair, skipping the second pricing pass (single-port
+        path only; see :meth:`apply`).
         """
-        self._total += self.swap_delta(code_a, code_b) if delta is None else delta
         pos = self._pos
+        if self._replay:
+            return self._replay_commit(
+                {code_a: pos[code_b], code_b: pos[code_a]}
+            )
+        self._total += self.swap_delta(code_a, code_b) if delta is None else delta
         pos[code_a], pos[code_b] = pos[code_b], pos[code_a]
         return self._total
 
     def resync(self) -> int:
-        """Recompute the total from the full pair set (verification hook)."""
+        """Recompute the total from scratch (verification hook)."""
+        if self._replay:
+            self._dbc_cost = {
+                d: self._replay_dbc(d) for d in self._dbc_codes
+            }
+            self._total = sum(self._dbc_cost.values())
+            return self._total
         pos = np.asarray(self._pos, dtype=np.int64)
         self._total = int((self._w * np.abs(pos[self._a] - pos[self._b])).sum())
         return self._total

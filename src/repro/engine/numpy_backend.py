@@ -14,11 +14,16 @@ between accesses of a DBC is *which port served the previous access*
 (the offset is then determined by the previous slot). Each access is
 therefore a function ``prev_port -> (chosen port, cost)`` over a tiny
 domain of ``p`` ports. We materialize those per-access port maps in bulk
-and resolve the sequential dependency with a logarithmic prefix
-composition (Hillis–Steele doubling over map composition) instead of a
-Python loop: a run's first access is a *constant* map (its choice is
-fixed by the known starting offset), so composed prefixes are constant
-maps too and runs cannot leak state into each other.
+(one ``searchsorted`` against the cached nearest-port decision
+boundaries) and resolve the sequential dependency with a monoid prefix
+composition over the maps: Hillis–Steele doubling for short inputs, and
+a *blocked* two-level scan for long ones — compose within fixed-length
+blocks with one vectorized table gather per in-block position (linear
+work, vectorized across all blocks at once), scan the per-block totals,
+then evaluate every in-block prefix at its block's entry state. A run's
+first access is a *constant* map (its choice is fixed by the known
+starting offset), so composed prefixes spanning it are constant maps
+too and runs cannot leak state into each other.
 
 *Cold start* needs no simulation at all: warm and cold controllers make
 identical port choices, so cold cost is the warm cost plus the first
@@ -32,7 +37,7 @@ from functools import lru_cache
 
 import numpy as np
 
-from repro.engine.semantics import PortPolicy, port_positions
+from repro.engine.semantics import PortPolicy, port_boundaries, port_positions
 from repro.engine.types import ShiftRequest, ShiftResult
 from repro.errors import SimulationError
 
@@ -46,6 +51,27 @@ def _group_order(dbc: np.ndarray, num_dbcs: int) -> np.ndarray:
     """
     key = dbc.astype(np.uint16) if num_dbcs <= 0xFFFF else dbc
     return np.argsort(key, kind="stable")
+
+
+@lru_cache(maxsize=256)
+def positions_array(domains: int, ports: int) -> np.ndarray:
+    """Cached read-only port-position array for one track geometry.
+
+    Matrix sweeps revisit the same few ``(domains, ports)`` cells
+    thousands of times; caching the arrays (and the boundary tables
+    below) keeps sharded/parallel runs from rebuilding them per cell.
+    """
+    out = np.asarray(port_positions(domains, ports), dtype=np.int64)
+    out.setflags(write=False)
+    return out
+
+
+@lru_cache(maxsize=256)
+def boundaries_array(domains: int, ports: int) -> np.ndarray:
+    """Cached read-only nearest-port decision thresholds (see semantics)."""
+    out = np.asarray(port_boundaries(domains, ports), dtype=np.int64)
+    out.setflags(write=False)
+    return out
 
 
 def single_port_warm_total(dbc: np.ndarray, slot: np.ndarray) -> int:
@@ -86,9 +112,7 @@ class NumpyBackend:
             raise SimulationError(
                 f"location {bad} outside track of {request.domains} domains"
             )
-        positions = np.asarray(
-            port_positions(request.domains, request.ports), dtype=np.int64
-        )
+        positions = positions_array(request.domains, request.ports)
         order = _group_order(request.dbc, request.num_dbcs)
         ds = request.dbc[order]
         ss = slot[order]
@@ -103,9 +127,12 @@ class NumpyBackend:
                 ss, first_idx, first_dbc, positions, init_offsets
             )
         else:
-            costs, last_port = _nearest_costs(
-                ss, run_first, first_idx, first_dbc, positions, init_offsets
+            costs, chosen = nearest_costs_flat(
+                ss, first_idx,
+                ss[first_idx] - init_offsets[first_dbc],
+                request.domains, request.ports,
             )
+            last_port = chosen[last_idx]
         if request.warm_start:
             costs[first_idx[~init_aligned[first_dbc]]] = 0
         per_dbc = np.zeros(request.num_dbcs, dtype=np.int64)
@@ -138,50 +165,95 @@ def _anchored_costs(
     return costs, np.zeros(first_dbc.size, dtype=np.int64)
 
 
-def _nearest_costs(
+@lru_cache(maxsize=256)
+def _transition_tables(domains: int, ports: int) -> np.ndarray:
+    """Per-gap port-transition maps for one track geometry.
+
+    The map an access applies depends only on its slot gap ``g`` to the
+    previous access: entering with port ``k``, the target is ``g +
+    positions[k]`` and the chosen port is the nearest one. All ``2K - 1``
+    possible gaps are enumerated once; building the per-access ``(N, p)``
+    maps is then a single gather at ``gap + (K - 1)``. Ports that fit
+    the packed encoding (``p**p <= _TABLE_MAX``) store one base-``p``
+    integer per gap, wider ports one map row per gap.
+    """
+    positions = positions_array(domains, ports)
+    boundaries = boundaries_array(domains, ports)
+    gaps = np.arange(-(domains - 1), domains, dtype=np.int64)
+    rows = np.searchsorted(
+        boundaries, gaps[:, None] + positions[None, :], side="left"
+    )
+    if ports ** ports <= _TABLE_MAX:
+        out = rows @ (ports ** np.arange(ports, dtype=np.int64))
+    else:
+        out = np.ascontiguousarray(rows, dtype=np.intp)
+    out.setflags(write=False)
+    return out
+
+
+def nearest_costs_flat(
     ss: np.ndarray,
-    run_first: np.ndarray,
     first_idx: np.ndarray,
-    first_dbc: np.ndarray,
-    positions: np.ndarray,
-    init_offsets: np.ndarray,
+    first_targets: np.ndarray,
+    domains: int,
+    ports: int,
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Costs under nearest-port selection (the vectorized port sweep)."""
+    """Per-access nearest-port costs and chosen ports over run-sorted slots.
+
+    ``ss`` holds the slots with every run (one DBC's subsequence, or one
+    batch row's DBC subsequence) contiguous and in trace order;
+    ``first_idx`` marks each run's first access — index 0 must be one —
+    and ``first_targets`` gives its port-selection target (``slot -
+    starting offset``). Shared by the 1-D backend and the population
+    kernel in :mod:`repro.engine.batch`, which flattens a whole ``(K,
+    N)`` candidate matrix into one such array.
+
+    The port chosen for an access depends only on the previous access's
+    port, so each access is a ``prev -> next`` map over the ``p`` ports,
+    gathered per access from the cached per-gap transition tables.
+    Run-first rows are overwritten with constant maps (their choice is
+    fixed by the known starting offset), the scan composes the maps into
+    per-access choices, and the costs need only the chosen ports:
+    ``|gap + positions[prev] - positions[chosen]|``.
+    """
     n = ss.size
-    p = positions.size
+    positions = positions_array(domains, ports)
+    boundaries = boundaries_array(domains, ports)
     gap = np.empty(n, dtype=np.int64)
     gap[0] = 0
     np.subtract(ss[1:], ss[:-1], out=gap[1:])
-    # Per-access port maps: entering an access having used port k before,
-    # the signed move to port j is gap + positions[k] - positions[j].
-    # argmin of |.| takes the first (lowest-index) minimum, matching
-    # select_port's strict-< tie-break.
-    port_map = np.empty((n, p), dtype=np.int64)
-    move_cost = np.empty((n, p), dtype=np.int64)
-    for k in range(p):
-        deltas = np.abs(gap[:, None] + (positions[k] - positions)[None, :])
-        chosen = np.argmin(deltas, axis=1)
-        port_map[:, k] = chosen
-        move_cost[:, k] = np.take_along_axis(
-            deltas, chosen[:, None], axis=1
-        )[:, 0]
-    # A run's first access starts from the DBC's known offset, so its map
-    # is constant — composition below can never cross run boundaries.
-    first_delta = np.abs(
-        ss[first_idx][:, None] - positions[None, :]
-        - init_offsets[first_dbc][:, None]
-    )
-    first_port = np.argmin(first_delta, axis=1)
-    first_cost = np.take_along_axis(
-        first_delta, first_port[:, None], axis=1
-    )[:, 0]
-    port_map[first_idx] = first_port[:, None]
-    chosen = _compose_scan(port_map, p)
-    costs = np.empty(n, dtype=np.int64)
-    interior = np.flatnonzero(~run_first)
-    costs[interior] = move_cost[interior, chosen[interior - 1]]
-    costs[first_idx] = first_cost
-    return costs, chosen[np.append(first_idx[1:] - 1, n - 1)]
+    # The per-gap tables pay off when the trace revisits gaps (realistic
+    # geometries: K in the hundreds, traces far longer). A huge track
+    # with a short trace would build — and cache — an O(K) table for a
+    # handful of accesses, so fall back to resolving just the trace's
+    # own gaps there.
+    use_table = 2 * domains - 1 <= max(4 * n, _TABLE_SPAN_FLOOR)
+    first_port = np.searchsorted(boundaries, first_targets, side="left")
+    if ports ** ports <= _TABLE_MAX:
+        if use_table:
+            enc = _transition_tables(domains, ports)[gap + (domains - 1)]
+        else:
+            enc = np.searchsorted(
+                boundaries, gap[:, None] + positions[None, :], side="left"
+            ) @ (ports ** np.arange(ports, dtype=np.int64))
+        # A constant map to port j has every base-p digit equal to j.
+        enc[first_idx] = first_port * ((ports ** ports - 1) // (ports - 1))
+        chosen = _scan_packed(enc, ports)
+    else:
+        if use_table:
+            port_map = _transition_tables(domains, ports)[gap + (domains - 1)]
+        else:
+            port_map = np.searchsorted(
+                boundaries, gap[:, None] + positions[None, :], side="left"
+            )
+        port_map[first_idx] = first_port[:, None]
+        chosen = _scan_maps(port_map, ports)
+    prev = np.empty(n, dtype=np.intp)
+    prev[0] = 0
+    prev[1:] = chosen[:-1]
+    costs = np.abs(gap + positions[prev] - positions[chosen])
+    costs[first_idx] = np.abs(first_targets - positions[first_port])
+    return costs, chosen
 
 
 @lru_cache(maxsize=8)
@@ -200,30 +272,145 @@ def _composition_table(p: int) -> np.ndarray:
     return table.ravel()
 
 
-def _compose_scan(port_map: np.ndarray, p: int) -> np.ndarray:
-    """Port chosen at each access, given per-access ``prev -> next`` maps.
+#: Largest packed-map universe (p**p) the composition table covers:
+#: ports <= 4 keep the table at 256x256 int32.
+_TABLE_MAX = 256
 
-    Prefix-composes the maps with Hillis–Steele doubling; access 0 carries
-    a constant (reset) map, so every prefix is constant and evaluating it
-    at state 0 yields the chosen port. For small ``p`` each map is packed
-    into one integer and composed through a cached monoid table — one
-    1-D gather per element per round instead of ``p`` — which is the
-    difference between beating and merely matching the per-access loop.
+#: Per-gap transition tables of up to this many entries are always
+#: built (and cached) regardless of trace length — 64Ki int64 entries is
+#: half a MB and covers every realistic track. Beyond it the table must
+#: be amortized by the trace, else maps are resolved per access.
+_TABLE_SPAN_FLOOR = 0xFFFF + 1
+
+#: Below this length the O(n log n) Hillis–Steele doubling beats the
+#: blocked scan (fewer numpy calls, everything cache-resident).
+_DOUBLING_MAX = 4096
+
+#: In-block length of the blocked scan: the Python loop runs this many
+#: vectorized compose steps, each over all n/_SCAN_BLOCK blocks at once.
+_SCAN_BLOCK = 128
+
+
+@lru_cache(maxsize=8)
+def _evaluation_table(p: int) -> np.ndarray:
+    """Digit-extraction table: ``eval[f * p + s]`` is map ``f`` at state ``s``.
+
+    Evaluating packed maps through one gather sidesteps the integer
+    divisions of ``(f // p**s) % p``, which dominate the blocked scan's
+    final stage otherwise.
     """
-    n = port_map.shape[0]
-    if p ** p <= 256:  # ports <= 4: the table stays tiny (256x256 int32)
+    total = p ** p
+    powers = p ** np.arange(p, dtype=np.int64)
+    digits = (np.arange(total)[:, None] // powers[None, :]) % p
+    return np.ascontiguousarray(digits.ravel().astype(np.intp))
+
+
+def _scan_packed(enc: np.ndarray, p: int) -> np.ndarray:
+    """Port chosen at each access, from per-access table-packed maps.
+
+    Prefix-composes the maps; element 0 must be a constant (reset) map,
+    so every full prefix is constant and evaluating it at state 0 yields
+    the chosen port. Short inputs use Hillis–Steele doubling (O(n log n)
+    but few calls); long ones the blocked two-level scan below.
+
+    Two ports degenerate: nearest-port maps are monotone in the previous
+    port (the targets ``gap + positions[k]`` increase with ``k``), so
+    the crossing map ``{0 -> 1, 1 -> 0}`` cannot occur and every map is
+    a constant or the identity. Composition then reduces to "the most
+    recent constant", one ``maximum.accumulate`` forward fill.
+    """
+    n = enc.size
+    if p == 2:
+        # Packed values: 0 = const-0, 3 = const-1, 2 = identity.
+        last_reset = np.maximum.accumulate(
+            np.where(enc != 2, np.arange(n, dtype=np.intp), 0)
+        )
+        return enc[last_reset] & 1
+    if n <= _DOUBLING_MAX:
         total = p ** p
-        powers = p ** np.arange(p, dtype=np.int64)
         table = _composition_table(p)
-        enc = port_map @ powers
         span = 1
         while span < n:
             enc[span:] = table[enc[span:] * total + enc[:-span]]
             span *= 2
-        return enc % p  # digit 0 = the map evaluated at state 0
-    prefix = port_map.copy()
+        return _evaluation_table(p)[enc * p]  # evaluated at state 0
+    return _blocked_scan_packed(enc, p)
+
+
+def _scan_maps(port_map: np.ndarray, p: int) -> np.ndarray:
+    """Port chosen at each access, from explicit ``(n, p)`` map rows."""
+    n = port_map.shape[0]
+    if n <= _DOUBLING_MAX:
+        prefix = port_map.copy()
+        span = 1
+        while span < n:
+            prefix[span:] = np.take_along_axis(prefix[span:], prefix[:-span], axis=1)
+            span *= 2
+        return prefix[:, 0]  # rows are constant maps: any column works
+    return _blocked_scan_maps(port_map, p)
+
+
+def _blocked_scan_packed(enc: np.ndarray, p: int) -> np.ndarray:
+    """Blocked scan over table-packed maps: linear work, O(block) passes.
+
+    Three stages: (1) an in-block inclusive prefix — ``_SCAN_BLOCK``
+    vectorized table gathers, each composing position ``i`` of *every*
+    block at once; (2) a doubling scan over the ~n/_SCAN_BLOCK per-block
+    totals; (3) one vectorized evaluation-table gather resolving each
+    in-block prefix at its block's entry state. Padding with the
+    identity map keeps the last partial block exact.
+    """
+    n = enc.size
+    total = p ** p
+    table = _composition_table(p)
+    evaluate = _evaluation_table(p)
+    powers = p ** np.arange(p, dtype=np.int64)
+    identity = int((np.arange(p, dtype=np.int64) * powers).sum())
+    blocks = -(-n // _SCAN_BLOCK)
+    padded = np.full(blocks * _SCAN_BLOCK, identity, dtype=np.int64)
+    padded[:n] = enc
+    cols = padded.reshape(blocks, _SCAN_BLOCK).T
+    scaled = cols * total  # composition indices, one pass for all rounds
+    prefix = np.empty((_SCAN_BLOCK, blocks), dtype=np.int64)
+    prefix[0] = cols[0]
+    for i in range(1, _SCAN_BLOCK):
+        prefix[i] = table[scaled[i] + prefix[i - 1]]
+    carry = prefix[-1].copy()  # inclusive per-block totals
     span = 1
-    while span < n:
-        prefix[span:] = np.take_along_axis(prefix[span:], prefix[:-span], axis=1)
+    while span < blocks:
+        carry[span:] = table[carry[span:] * total + carry[:-span]]
         span *= 2
-    return prefix[:, 0]  # rows are constant maps: any column works
+    entry = np.empty(blocks, dtype=np.int64)
+    # Block 0 starts at the global first access — a constant map, so its
+    # entry state is arbitrary; later entries are the composed prefix of
+    # all earlier blocks (constant for the same reason) evaluated at 0.
+    entry[0] = 0
+    entry[1:] = evaluate[carry[:-1] * p]
+    chosen = evaluate[prefix * p + entry[None, :]]
+    return np.ascontiguousarray(chosen.T).ravel()[:n]
+
+
+def _blocked_scan_maps(port_map: np.ndarray, p: int) -> np.ndarray:
+    """Blocked scan over explicit ``(n, p)`` maps (ports too wide to pack)."""
+    n = port_map.shape[0]
+    blocks = -(-n // _SCAN_BLOCK)
+    padded = np.empty((blocks * _SCAN_BLOCK, p), dtype=port_map.dtype)
+    padded[:n] = port_map
+    padded[n:] = np.arange(p, dtype=port_map.dtype)  # identity padding
+    cols = np.ascontiguousarray(
+        padded.reshape(blocks, _SCAN_BLOCK, p).transpose(1, 0, 2)
+    )
+    prefix = np.empty_like(cols)
+    prefix[0] = cols[0]
+    for i in range(1, _SCAN_BLOCK):
+        prefix[i] = np.take_along_axis(cols[i], prefix[i - 1], axis=1)
+    carry = prefix[-1].copy()
+    span = 1
+    while span < blocks:
+        carry[span:] = np.take_along_axis(carry[span:], carry[:-span], axis=1)
+        span *= 2
+    entry = np.empty(blocks, dtype=np.intp)
+    entry[0] = 0
+    entry[1:] = carry[:-1, 0]
+    chosen = np.take_along_axis(prefix, entry[None, :, None], axis=2)[:, :, 0]
+    return np.ascontiguousarray(chosen.T).ravel()[:n]

@@ -17,6 +17,7 @@ minimal-shift controller behaviour (as in RTSim).
 from __future__ import annotations
 
 from enum import Enum
+from functools import lru_cache
 
 from repro.errors import GeometryError, SimulationError
 
@@ -33,6 +34,7 @@ class PortPolicy(str, Enum):
         return self.value
 
 
+@lru_cache(maxsize=1024)
 def port_positions(domains: int, ports: int) -> tuple[int, ...]:
     """Domain indices of ``ports`` evenly spread ports on a ``domains`` track.
 
@@ -55,6 +57,24 @@ def port_positions(domains: int, ports: int) -> tuple[int, ...]:
             f"{ports} ports on {domains} domains collide at {positions}"
         )
     return tuple(positions)
+
+
+@lru_cache(maxsize=1024)
+def port_boundaries(domains: int, ports: int) -> tuple[int, ...]:
+    """Nearest-port decision thresholds between adjacent port positions.
+
+    A target position ``t`` (an access location minus the track offset)
+    is served by port ``j`` exactly when ``boundaries[j-1] < t <=
+    boundaries[j]`` — i.e. ``j = bisect_left(boundaries, t)``. The
+    threshold between adjacent ports is the floor midpoint of their
+    positions: an integer ``t`` at the exact midpoint is equidistant and
+    the tie goes to the lower port index, matching
+    :func:`select_port`'s strict-< comparison.
+    """
+    positions = port_positions(domains, ports)
+    return tuple(
+        (positions[j] + positions[j + 1]) // 2 for j in range(ports - 1)
+    )
 
 
 def select_port(

@@ -24,10 +24,16 @@ from repro.trace.generators.synthetic import phased_sequence
 def ablation_ports(
     profile: EvalProfile = QUICK_PROFILE,
     benchmarks: tuple[str, ...] = ("cc65", "jpeg", "gsm"),
-    ports: tuple[int, ...] = (1, 2, 4),
+    ports: tuple[int, ...] | None = None,
     num_dbcs: int = 4,
 ) -> ExperimentResult:
-    """Shift cost of AFD/DMA placements under varying port counts."""
+    """Shift cost of AFD/DMA placements under varying port counts.
+
+    The sweep defaults to the profile's ``ports`` tuple
+    (``repro-experiment ablation-ports --ports 1 2 4 8``).
+    """
+    if ports is None:
+        ports = tuple(profile.ports)
     policies = ("AFD-OFU", "DMA-OFU", "DMA-SR")
     domains = 1024 // num_dbcs
     totals = {(p, pt): 0 for p in policies for pt in ports}

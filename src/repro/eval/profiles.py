@@ -25,6 +25,12 @@ bigger populations affordable: scoring is one vectorized engine pass per
 generation, so ``search_scale=4`` costs far less than 4x wall time.
 Force it from the environment with ``REPRO_SEARCH_SCALE``.
 
+``ports`` is the port-count sweep the multi-port experiments run
+(``ablation-ports``, the multi-port benches); override per invocation
+with ``repro-experiment --ports 1 2 4 8`` or ``REPRO_PORTS=1,2,4,8``.
+Multi-port evaluation rides the engine's vectorized 2-D monoid scan, so
+sweeping port counts costs about the same as the single-port run.
+
 ``store`` attaches a persistent experiment store (``REPRO_STORE`` from
 the environment, ``--store`` on the CLI): matrix cells are cached on
 disk across processes, runs resume after interruption and shards share
@@ -63,6 +69,10 @@ class EvalProfile:
     store: str | None = None
     #: Forbid simulation: every matrix cell must come from a cache layer.
     offline: bool = False
+    #: Port counts swept by the multi-port experiments (``ablation-ports``
+    #: and the multi-port benchmarks); ``repro-experiment --ports`` /
+    #: ``REPRO_PORTS`` override it per invocation.
+    ports: tuple[int, ...] = (1, 2, 4)
 
     def describe(self) -> str:
         ga = ", ".join(f"{k}={v}" for k, v in sorted(self.ga_options.items()))
@@ -143,4 +153,17 @@ def profile_from_env(default: str = "quick") -> EvalProfile:
     store = os.environ.get("REPRO_STORE")
     if store:
         profile = replace(profile, store=store)
+    ports = os.environ.get("REPRO_PORTS")
+    if ports:
+        try:
+            swept = tuple(int(p) for p in ports.replace(",", " ").split())
+        except ValueError:
+            raise ExperimentError(
+                f"REPRO_PORTS must be integers, got {ports!r}"
+            ) from None
+        if not swept or min(swept) < 1:
+            raise ExperimentError(
+                f"REPRO_PORTS must list port counts >= 1, got {ports!r}"
+            )
+        profile = replace(profile, ports=swept)
     return profile

@@ -361,6 +361,7 @@ def _run_manifest(
             "benchmarks": list(profile.benchmarks),
             "write_ratio": profile.write_ratio,
             "search_scale": profile.search_scale,
+            "ports": list(profile.ports),
         },
         "policies": list(policy_names),
         "backend": str(backend),

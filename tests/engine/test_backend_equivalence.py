@@ -66,8 +66,8 @@ class TestRandomizedEquivalence:
             )
 
     def test_many_ports_fallback_scan(self):
-        # ports > 5 exceeds the packed-monoid table and exercises the
-        # map-matrix doubling fallback in _compose_scan.
+        # ports > 4 exceeds the packed-monoid table and exercises the
+        # explicit map-row scan (_scan_maps).
         rng = np.random.default_rng(321)
         for _ in range(10):
             assert_equivalent(
