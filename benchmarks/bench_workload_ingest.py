@@ -1,0 +1,155 @@
+"""Workload-layer throughput gate: ingestion and registry resolution.
+
+Three measurements, each gated as a conservative non-regression floor:
+
+* **ingest** — parse a 200k-line raw address trace and map it to a
+  placement trace through the geometry (word grouping, hot/cold
+  filtering, working-set capping). Gate: >= 50k accesses/s (measured
+  ~10x that; the floor flags an accidental per-line quadratic, not
+  machine noise).
+* **roundtrip** — render the ingested trace to the native format and
+  parse it back, asserting identity. Gate: >= 50k accesses/s.
+* **resolve** — resolve the smoke suite through the workload registry
+  and compare against the direct suite loader. Gates: bit-identical
+  fingerprints, and registry overhead <= 25% (it should be ~0: the
+  registry adds one parse + RNG spawn per spec).
+
+Usage: ``PYTHONPATH=src python benchmarks/bench_workload_ingest.py
+--out BENCH_workloads.json`` (CI runs exactly this).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.eval.profiles import SMOKE_PROFILE
+from repro.trace.generators.offsetstone import load_benchmark
+from repro.trace.io import parse_traces, read_address_trace, render_traces
+from repro.workloads import (
+    WorkloadContext,
+    resolve_workloads,
+    workload_fingerprint,
+)
+
+ACCESSES = 200_000
+WORDS = 1_024
+
+
+def _write_address_trace(path: Path, accesses: int) -> None:
+    rng = np.random.default_rng(42)
+    # Zipf-flavoured hot set over WORDS words at byte granularity.
+    ranks = rng.zipf(1.3, size=accesses) % WORDS
+    addrs = 0x10_000 + ranks * 4
+    ops = np.where(rng.random(accesses) < 0.3, "W", "R")
+    with open(path, "w", encoding="utf-8") as f:
+        f.write("# synthetic gem5-style trace\n")
+        for i in range(accesses):
+            f.write(f"{1000 + i}: {ops[i]} 0x{addrs[i]:x} 4\n")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--accesses", type=int, default=ACCESSES)
+    parser.add_argument("--min-ingest-rate", type=float, default=50_000,
+                        help="fail below this many ingested accesses/s "
+                             "(0 disables)")
+    parser.add_argument("--min-roundtrip-rate", type=float, default=50_000,
+                        help="fail below this many round-tripped accesses/s "
+                             "(0 disables)")
+    parser.add_argument("--max-resolve-overhead", type=float, default=1.25,
+                        help="fail when registry resolution exceeds this "
+                             "multiple of the direct loader (0 disables)")
+    parser.add_argument("--out", default="BENCH_workloads.json")
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        trace_path = Path(tmp) / "app.atrc"
+        _write_address_trace(trace_path, args.accesses)
+
+        t0 = time.perf_counter()
+        trace = read_address_trace(trace_path, max_vars=512, min_count=2)
+        ingest_s = time.perf_counter() - t0
+        ingest_rate = args.accesses / ingest_s
+
+        t0 = time.perf_counter()
+        text = render_traces([trace])
+        (back,) = parse_traces(text)
+        roundtrip_s = time.perf_counter() - t0
+        roundtrip_rate = len(trace) / roundtrip_s
+        if back != trace:
+            print("FAIL: render/parse round-trip not identical",
+                  file=sys.stderr)
+            return 1
+
+    ctx = WorkloadContext.from_profile(SMOKE_PROFILE)
+    names = SMOKE_PROFILE.benchmarks
+    direct_s = resolve_s = float("inf")
+    for _ in range(3):  # best-of-3: the baselines are milliseconds
+        t0 = time.perf_counter()
+        direct = [
+            load_benchmark(n, scale=ctx.scale, seed=ctx.seed,
+                           write_ratio=ctx.write_ratio)
+            for n in names
+        ]
+        direct_s = min(direct_s, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        resolved = resolve_workloads(names, ctx)
+        resolve_s = min(resolve_s, time.perf_counter() - t0)
+    identical = (
+        [workload_fingerprint(p) for p in direct]
+        == [workload_fingerprint(p) for p in resolved]
+    )
+    overhead = resolve_s / direct_s if direct_s else 1.0
+
+    payload = {
+        "benchmark": "workload_ingest",
+        "accesses": args.accesses,
+        "ingest": {"seconds": ingest_s, "rate_per_s": ingest_rate,
+                   "kept_vars": trace.sequence.num_variables,
+                   "kept_accesses": len(trace)},
+        "roundtrip": {"seconds": roundtrip_s, "rate_per_s": roundtrip_rate},
+        "resolve": {"suite": list(names), "direct_s": direct_s,
+                    "registry_s": resolve_s, "overhead_x": overhead,
+                    "bit_identical": identical},
+    }
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"ingest:    {args.accesses} accesses in {ingest_s:.2f}s "
+          f"({ingest_rate:,.0f}/s; kept {trace.sequence.num_variables} vars, "
+          f"{len(trace)} accesses)")
+    print(f"roundtrip: {len(trace)} accesses in {roundtrip_s:.2f}s "
+          f"({roundtrip_rate:,.0f}/s)")
+    print(f"resolve:   {len(names)} specs, direct {direct_s:.3f}s vs "
+          f"registry {resolve_s:.3f}s ({overhead:.2f}x, "
+          f"bit_identical={identical})")
+    print(f"wrote {out}")
+
+    if not identical:
+        print("FAIL: registry suite differs from the direct loader",
+              file=sys.stderr)
+        return 1
+    if args.min_ingest_rate and ingest_rate < args.min_ingest_rate:
+        print(f"FAIL: ingest rate {ingest_rate:,.0f}/s < required "
+              f"{args.min_ingest_rate:,.0f}/s", file=sys.stderr)
+        return 1
+    if args.min_roundtrip_rate and roundtrip_rate < args.min_roundtrip_rate:
+        print(f"FAIL: roundtrip rate {roundtrip_rate:,.0f}/s < required "
+              f"{args.min_roundtrip_rate:,.0f}/s", file=sys.stderr)
+        return 1
+    if args.max_resolve_overhead and overhead > args.max_resolve_overhead:
+        print(f"FAIL: registry overhead {overhead:.2f}x > allowed "
+              f"{args.max_resolve_overhead:.2f}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,8 +13,12 @@ The package provides, from scratch:
 * :mod:`repro.core` — the placement algorithms: the DMA heuristic
   (Algorithm 1), the genetic algorithm, the AFD baseline and the
   intra-DBC heuristics (OFU, Chen, ShiftsReduce, TSP, exact DP);
+* :mod:`repro.workloads` — the pluggable workload layer: declarative
+  specs resolved through a source registry (synthetic generator
+  families plus external trace ingestion) and composable scenario
+  transforms;
 * :mod:`repro.eval` — the experiment harness regenerating every table
-  and figure of the paper's evaluation.
+  and figure of the paper's evaluation, over any registered workload.
 
 Quickstart::
 
@@ -57,8 +61,15 @@ from repro.trace import (
     read_traces,
     write_traces,
 )
+from repro.workloads import (
+    WorkloadContext,
+    WorkloadSpec,
+    parse_workload_spec,
+    resolve_workload,
+    resolve_workloads,
+)
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "__version__",
@@ -92,4 +103,10 @@ __all__ = [
     "Liveness",
     "read_traces",
     "write_traces",
+    # workloads
+    "WorkloadContext",
+    "WorkloadSpec",
+    "parse_workload_spec",
+    "resolve_workload",
+    "resolve_workloads",
 ]

@@ -3,9 +3,12 @@
 * ``repro-place``      — place a trace file and print the placement + cost.
 * ``repro-sim``        — place and simulate, printing the full report.
 * ``repro-suite``      — inspect the generated OffsetStone-like suite.
-* ``repro-experiment`` — regenerate a table/figure of the paper.
+* ``repro-experiment`` — regenerate a table/figure of the paper, over the
+  default suite or any ``--workloads`` specs (see docs/workloads.md).
 * ``repro-store``      — inspect/maintain persistent experiment stores
   (lives in :mod:`repro.store.cli`).
+* ``repro-trace``      — inspect/ingest/convert trace files
+  (lives in :mod:`repro.trace.cli`).
 """
 
 from __future__ import annotations
@@ -19,7 +22,7 @@ from dataclasses import replace
 from repro.core.cost import per_dbc_shift_costs
 from repro.core.policies import available_policies, get_policy
 from repro.engine import available_backends
-from repro.errors import ExperimentError
+from repro.errors import ExperimentError, WorkloadError
 from repro.eval import experiments as exp
 from repro.eval.profiles import profile_from_env
 from repro.eval.reporting import render_experiment, save_experiment
@@ -172,13 +175,35 @@ def _print_matrix_stats() -> None:
         print(f"matrix cache: {stats.describe()}", file=sys.stderr)
 
 
+def _list_workloads() -> int:
+    """Print the workload registry and the built-in suite names."""
+    from repro.workloads import describe_registry
+
+    rows = [[kind, name, desc] for kind, name, desc in describe_registry()]
+    print(format_table(
+        ["Kind", "Name", "Description"], rows,
+        title="workload registry (spec grammar: docs/workloads.md)",
+    ))
+    print("\noffsetstone benchmarks: " + " ".join(OFFSETSTONE_NAMES))
+    return 0
+
+
 def main_experiment(argv: Sequence[str] | None = None) -> int:
     """Regenerate one of the paper's tables/figures."""
     parser = argparse.ArgumentParser(
         prog="repro-experiment", description=main_experiment.__doc__
     )
-    parser.add_argument("experiment", choices=sorted(_EXPERIMENTS),
+    parser.add_argument("experiment", nargs="?", choices=sorted(_EXPERIMENTS),
                         help="which artifact to regenerate")
+    parser.add_argument("--workloads", nargs="+", default=None,
+                        metavar="SPEC",
+                        help="evaluate these workload specs instead of the "
+                             "profile's suite (e.g. offsetstone:h263 "
+                             "file:traces/app.trc@interleave=2; default: "
+                             "profile / REPRO_WORKLOADS)")
+    parser.add_argument("--list-workloads", action="store_true",
+                        help="print the workload sources/transforms "
+                             "registry and exit")
     parser.add_argument("--save", metavar="DIR", default=None,
                         help="also write the report (.txt + .json) under DIR")
     parser.add_argument("--max-rows", type=int, default=None,
@@ -210,7 +235,27 @@ def main_experiment(argv: Sequence[str] | None = None) -> int:
                         help="regenerate the report purely from stored "
                              "cells; fail instead of simulating")
     args = parser.parse_args(argv)
-    profile = profile_from_env()
+    if args.list_workloads:
+        return _list_workloads()
+    if (args.experiment is None and args.workloads
+            and args.workloads[-1] in _EXPERIMENTS):
+        # `--workloads spec... fig6`: the greedy nargs='+' swallowed the
+        # trailing experiment name; no workload spec is ever named like
+        # an experiment, so reclaim it.
+        args.experiment = args.workloads.pop()
+        if not args.workloads:
+            parser.error("--workloads needs at least one spec")
+    if args.experiment is None:
+        parser.error("an experiment is required (or --list-workloads)")
+    try:
+        profile = profile_from_env()
+    except ExperimentError as exc:
+        # Bad env configuration (REPRO_PROFILE/REPRO_WORKLOADS/...) ends
+        # cleanly, matching the experiment-execution error path below.
+        print(f"repro-experiment: {exc}", file=sys.stderr)
+        return 2
+    if args.workloads is not None:
+        profile = replace(profile, workloads=tuple(args.workloads))
     if args.backend is not None:
         profile = replace(profile, engine_backend=args.backend)
     if args.workers is not None:
@@ -251,9 +296,10 @@ def main_experiment(argv: Sequence[str] | None = None) -> int:
         return 0
     try:
         result = _EXPERIMENTS[args.experiment](profile)
-    except ExperimentError as exc:
+    except (ExperimentError, WorkloadError) as exc:
         # Expected operational failures (offline cache miss, bad profile
-        # configuration) end cleanly, not with a traceback.
+        # configuration, unresolvable workload specs) end cleanly, not
+        # with a traceback.
         print(f"repro-experiment: {exc}", file=sys.stderr)
         return 2
     print(render_experiment(result, max_rows=args.max_rows))

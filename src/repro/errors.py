@@ -20,6 +20,10 @@ class TraceFormatError(TraceError):
     """A trace file could not be parsed."""
 
 
+class WorkloadError(TraceError):
+    """A workload spec is malformed or cannot be resolved."""
+
+
 class GeometryError(ReproError):
     """An RTM configuration is inconsistent or physically impossible."""
 

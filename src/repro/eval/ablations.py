@@ -17,29 +17,44 @@ from repro.eval.experiments import ExperimentResult
 from repro.eval.profiles import EvalProfile, QUICK_PROFILE
 from repro.rtm.geometry import iso_capacity_sweep
 from repro.rtm.swapping import SwappingController
-from repro.trace.generators.offsetstone import load_benchmark
 from repro.trace.generators.synthetic import phased_sequence
+from repro.workloads import WorkloadContext, resolve_workload, resolve_workloads
+
+
+def _default_workloads(
+    profile: EvalProfile, fallback: tuple[str, ...]
+) -> tuple[str, ...]:
+    """The profile's explicit workload specs, or the ablation's defaults.
+
+    Ablations run on a small representative subset by default, but an
+    explicit ``--workloads``/``REPRO_WORKLOADS`` selection must win —
+    silently ignoring it would report numbers for the wrong traces.
+    """
+    return profile.workloads if profile.workloads else fallback
 
 
 def ablation_ports(
     profile: EvalProfile = QUICK_PROFILE,
-    benchmarks: tuple[str, ...] = ("cc65", "jpeg", "gsm"),
+    benchmarks: tuple[str, ...] | None = None,
     ports: tuple[int, ...] | None = None,
     num_dbcs: int = 4,
 ) -> ExperimentResult:
     """Shift cost of AFD/DMA placements under varying port counts.
 
     The sweep defaults to the profile's ``ports`` tuple
-    (``repro-experiment ablation-ports --ports 1 2 4 8``).
+    (``repro-experiment ablation-ports --ports 1 2 4 8``); the workload
+    list to the profile's ``workloads`` specs, else a representative
+    benchmark trio.
     """
+    if benchmarks is None:
+        benchmarks = _default_workloads(profile, ("cc65", "jpeg", "gsm"))
     if ports is None:
         ports = tuple(profile.ports)
     policies = ("AFD-OFU", "DMA-OFU", "DMA-SR")
     domains = 1024 // num_dbcs
     totals = {(p, pt): 0 for p in policies for pt in ports}
-    for name in benchmarks:
-        bench = load_benchmark(name, scale=profile.suite_scale,
-                               seed=profile.seed)
+    ctx = WorkloadContext.from_profile(profile)
+    for bench in resolve_workloads(benchmarks, ctx):
         for trace in bench.traces:
             seq = trace.sequence
             placements = {
@@ -114,7 +129,7 @@ def ablation_multiset(
 
 def ablation_dbc_sweep(
     profile: EvalProfile = QUICK_PROFILE,
-    benchmarks: tuple[str, ...] = ("cc65", "jpeg"),
+    benchmarks: tuple[str, ...] | None = None,
     dbc_counts: tuple[int, ...] = (2, 4, 8, 16, 32),
 ) -> ExperimentResult:
     """Extended DBC-count sweep, beyond the Table I configurations.
@@ -134,10 +149,9 @@ def ablation_dbc_sweep(
     from repro.rtm.geometry import RTMConfig
     from repro.rtm.timing import destiny_params
 
-    programs = [
-        load_benchmark(n, scale=profile.suite_scale, seed=profile.seed)
-        for n in benchmarks
-    ]
+    if benchmarks is None:
+        benchmarks = _default_workloads(profile, ("cc65", "jpeg"))
+    programs = resolve_workloads(benchmarks, WorkloadContext.from_profile(profile))
     total_bits = 4096 * 8
     configs = []
     for q in dbc_counts:
@@ -179,15 +193,21 @@ def ablation_dbc_sweep(
 
 def ablation_swapping(
     profile: EvalProfile = QUICK_PROFILE,
-    benchmark: str = "h263",
+    benchmark: str | None = None,
     num_dbcs: int = 4,
     threshold: int = 4,
 ) -> ExperimentResult:
-    """Static placement vs counter-based online swapping."""
+    """Static placement vs counter-based online swapping.
+
+    Inherently a single-workload probe: with an explicit
+    ``profile.workloads`` selection it runs on the *first* spec (the
+    title names which), defaulting to ``h263``.
+    """
+    if benchmark is None:
+        (benchmark, *_rest) = _default_workloads(profile, ("h263",))
     config = [c for c in iso_capacity_sweep() if c.dbcs == num_dbcs][0]
     cap = config.locations_per_dbc
-    bench = load_benchmark(benchmark, scale=profile.suite_scale,
-                           seed=profile.seed)
+    bench = resolve_workload(benchmark, WorkloadContext.from_profile(profile))
     from repro.rtm.sim import simulate
 
     totals = {"AFD-OFU": 0, "AFD-OFU+swap": 0, "DMA-SR": 0}

@@ -29,9 +29,10 @@ from repro.eval.runner import (
 )
 from repro.rtm.geometry import TABLE1_DBC_COUNTS, iso_capacity_sweep
 from repro.rtm.timing import destiny_params, table1_rows
-from repro.trace.generators.offsetstone import largest_sequence_benchmark, load_benchmark
+from repro.trace.generators.offsetstone import largest_sequence_benchmark
 from repro.trace.sequence import AccessSequence
 from repro.util.mathx import geometric_mean, percent_improvement
+from repro.workloads import WorkloadContext, resolve_workload
 
 Matrix = dict[tuple[str, str, int], CellResult]
 
@@ -460,10 +461,15 @@ def experiment_sec4b_gap(
     num_dbcs: int = 4,
     long_generations: int | None = None,
 ) -> ExperimentResult:
-    """How far the heuristics sit from a long GA run (Sec. IV-B's 38%)."""
-    bench = load_benchmark(
-        largest_sequence_benchmark(), scale=profile.suite_scale, seed=profile.seed
-    )
+    """How far the heuristics sit from a long GA run (Sec. IV-B's 38%).
+
+    Runs on the suite's longest-sequence benchmark by default; an
+    explicit ``profile.workloads`` selection probes its first workload's
+    longest sequence instead.
+    """
+    spec = (profile.workloads[0] if profile.workloads
+            else largest_sequence_benchmark())
+    bench = resolve_workload(spec, WorkloadContext.from_profile(profile))
     seq = max((t.sequence for t in bench.traces), key=len)
     sweep = {c.dbcs: c for c in iso_capacity_sweep()}
     if num_dbcs not in sweep:

@@ -36,6 +36,15 @@ the environment, ``--store`` on the CLI): matrix cells are cached on
 disk across processes, runs resume after interruption and shards share
 work — see ``docs/experiments.md``. ``offline`` turns the store into
 the only allowed source (report regeneration without simulation).
+
+``workloads`` replaces the benchmark list with arbitrary workload specs
+resolved through :mod:`repro.workloads` (``offsetstone:h263``,
+``file:traces/app.trc@interleave=2``, ...) — see ``docs/workloads.md``.
+When unset, the profile's ``benchmarks`` names resolve as bare
+``offsetstone:`` specs, bit-identically to the pre-registry suite.
+Override per invocation with ``repro-experiment --workloads`` or
+``REPRO_WORKLOADS`` (specs separated by whitespace or ``;`` — commas
+belong to the spec grammar).
 """
 
 from __future__ import annotations
@@ -73,14 +82,23 @@ class EvalProfile:
     #: and the multi-port benchmarks); ``repro-experiment --ports`` /
     #: ``REPRO_PORTS`` override it per invocation.
     ports: tuple[int, ...] = (1, 2, 4)
+    #: Workload specs resolved through :mod:`repro.workloads`; ``None``
+    #: means "the ``benchmarks`` names as bare offsetstone specs".
+    workloads: tuple[str, ...] | None = None
+
+    @property
+    def workload_specs(self) -> tuple[str, ...]:
+        """The effective workload list this profile evaluates."""
+        return self.workloads if self.workloads else self.benchmarks
 
     def describe(self) -> str:
         ga = ", ".join(f"{k}={v}" for k, v in sorted(self.ga_options.items()))
         scale = (
             f", search x{self.search_scale:g}" if self.search_scale != 1.0 else ""
         )
+        kind = "workloads" if self.workloads else "benchmarks"
         return (
-            f"profile {self.name!r}: {len(self.benchmarks)} benchmarks at "
+            f"profile {self.name!r}: {len(self.workload_specs)} {kind} at "
             f"scale {self.suite_scale}, GA({ga or 'paper defaults'}), "
             f"RW {self.rw_iterations} iters, seed {self.seed}, "
             f"{self.engine_backend} engine x {self.workers} worker(s){scale}"
@@ -116,7 +134,9 @@ def profile_from_env(default: str = "quick") -> EvalProfile:
     """Resolve the profile from ``REPRO_PROFILE`` (default ``quick``).
 
     ``REPRO_BACKEND`` and ``REPRO_WORKERS`` override the profile's engine
-    backend and matrix-runner parallelism without defining a new profile.
+    backend and matrix-runner parallelism without defining a new profile;
+    ``REPRO_WORKLOADS`` (whitespace- or ``;``-separated specs) replaces
+    the evaluated workload suite.
     """
     name = os.environ.get("REPRO_PROFILE", default).strip().lower()
     try:
@@ -153,6 +173,18 @@ def profile_from_env(default: str = "quick") -> EvalProfile:
     store = os.environ.get("REPRO_STORE")
     if store:
         profile = replace(profile, store=store)
+    workloads = os.environ.get("REPRO_WORKLOADS")
+    if workloads:
+        # Separated by whitespace or ';' — never ',', which is part of
+        # the spec grammar itself (source parameters).
+        specs = tuple(
+            s for s in workloads.replace(";", " ").split() if s
+        )
+        if not specs:
+            raise ExperimentError(
+                f"REPRO_WORKLOADS must list workload specs, got {workloads!r}"
+            )
+        profile = replace(profile, workloads=specs)
     ports = os.environ.get("REPRO_PORTS")
     if ports:
         try:

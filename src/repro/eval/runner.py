@@ -45,12 +45,11 @@ from repro.core.cost import shift_cost
 from repro.core.policies import Policy, get_policy
 from repro.errors import ExperimentError
 from repro.eval.profiles import EvalProfile, QUICK_PROFILE
-from repro.engine import trace_fingerprint
 from repro.rtm.geometry import RTMConfig, iso_capacity_sweep
 from repro.rtm.report import SimReport
 from repro.rtm.sim import simulate
 from repro.rtm.timing import params_for
-from repro.trace.generators.offsetstone import BenchmarkProgram, load_benchmark
+from repro.trace.generators.offsetstone import BenchmarkProgram
 from repro.util.rng import ensure_rng, spawn_seeds
 
 #: A picklable policy recipe: ``(name, constructor kwargs)``.
@@ -229,16 +228,19 @@ def build_policies(names: Sequence[str], profile: EvalProfile) -> list[Policy]:
 
 
 def load_suite(profile: EvalProfile) -> list[BenchmarkProgram]:
-    """The profile's benchmark programs."""
-    return [
-        load_benchmark(
-            name,
-            scale=profile.suite_scale,
-            seed=profile.seed,
-            write_ratio=profile.write_ratio,
-        )
-        for name in profile.benchmarks
-    ]
+    """The profile's workload programs, resolved through the registry.
+
+    ``profile.workloads`` specs (``offsetstone:h263``,
+    ``file:traces/app.trc@interleave=2``, ...) resolve through
+    :mod:`repro.workloads`; when unset, the profile's ``benchmarks``
+    names resolve as bare ``offsetstone:`` specs — bit-identical to the
+    historical direct suite loader, so existing stores stay warm.
+    """
+    from repro.workloads import WorkloadContext, resolve_workloads
+
+    return resolve_workloads(
+        profile.workload_specs, WorkloadContext.from_profile(profile)
+    )
 
 
 # -- content-keyed result cache ---------------------------------------------
@@ -265,11 +267,18 @@ def _cell_key(
     the seed — cells recur across differently shaped matrices (each
     figure runs its own policy subset, which reshuffles seed assignment)
     and still hit the cache.
+
+    The program side of the key is the resolved workload itself: the
+    program name (for registry workloads, the canonical spec string) and
+    the content fingerprints of its traces. External-trace and
+    transformed workloads therefore shard, resume and regenerate through
+    the store exactly like the built-in suite — and a changed trace file
+    changes the key.
     """
+    from repro.workloads import update_program_digest
+
     h = hashlib.sha256()
-    h.update(program.name.encode())
-    for trace in program.traces:
-        h.update(trace_fingerprint(trace).encode())
+    update_program_digest(h, program)
     name, options = spec
     h.update(json.dumps([name, options], sort_keys=True).encode())
     h.update(
@@ -359,6 +368,7 @@ def _run_manifest(
             "rw_iterations": profile.rw_iterations,
             "seed": profile.seed,
             "benchmarks": list(profile.benchmarks),
+            "workloads": list(profile.workload_specs),
             "write_ratio": profile.write_ratio,
             "search_scale": profile.search_scale,
             "ports": list(profile.ports),

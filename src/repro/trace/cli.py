@@ -1,0 +1,159 @@
+"""``repro-trace`` — inspect, ingest and convert trace files.
+
+Subcommands:
+
+* ``stats``   — per-trace structural statistics (the signals that decide
+  which placement policy wins) for any supported file format.
+* ``ingest``  — map a raw address trace (gem5/pintool style lines or
+  CSV) to a placement trace through the RTM geometry — access
+  granularity, working-set capping, hot/cold filtering — and write it
+  in the native format.
+* ``convert`` — normalize any supported file into the native format
+  (re-wrapped, canonical keyword layout).
+
+Both output-producing commands write files that ``repro-place``,
+``repro-sim`` and ``file:`` workload specs (see ``docs/workloads.md``)
+consume directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.errors import ReproError
+from repro.trace.io import (
+    load_traces,
+    read_address_trace,
+    render_traces,
+    write_traces,
+)
+from repro.trace.stats import analyze
+from repro.util.tables import format_table
+
+_FORMATS = ("auto", "trace", "addr")
+
+
+def _ingest_kwargs(args: argparse.Namespace) -> dict:
+    kwargs: dict = {}
+    if args.word is not None:
+        kwargs["word_bytes"] = args.word
+    if args.max_vars is not None:
+        kwargs["max_vars"] = args.max_vars
+    if args.min_count is not None:
+        kwargs["min_count"] = args.min_count
+    if args.limit is not None:
+        kwargs["limit"] = args.limit
+    return kwargs
+
+
+def _add_ingest_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--word", type=int, default=None, metavar="BYTES",
+                        help="access granularity: addresses in the same "
+                             "word map to one variable (default: the "
+                             "32-track device's 4-byte word)")
+    parser.add_argument("--max-vars", type=int, default=None, metavar="N",
+                        help="working-set cap: keep only the N hottest words")
+    parser.add_argument("--min-count", type=int, default=None, metavar="N",
+                        help="cold filter: drop words accessed < N times")
+    parser.add_argument("--limit", type=int, default=None, metavar="N",
+                        help="truncate the raw access stream to N accesses")
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    kwargs = _ingest_kwargs(args)
+    if args.format == "trace" and kwargs:
+        raise ReproError("ingestion options only apply to address traces")
+    traces = load_traces(args.file, format=args.format, **kwargs)
+    rows = []
+    for trace in traces:
+        s = analyze(trace.sequence)
+        rows.append([
+            trace.name or "unnamed", s.length, s.num_variables,
+            trace.num_writes, f"{100 * s.self_transition_ratio:.1f}%",
+            f"{s.mean_working_set:.1f}",
+            f"{100 * s.working_set_turnover:.1f}%",
+            f"{100 * s.disjoint_access_share:.1f}%",
+        ])
+    print(format_table(
+        ["Trace", "Accesses", "Vars", "Writes", "SelfTrans", "WorkSet",
+         "Turnover", "Disjoint"],
+        rows, title=f"{args.file}: {len(traces)} trace(s)",
+    ))
+    return 0
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    trace = read_address_trace(args.file, name=args.name,
+                               **_ingest_kwargs(args))
+    seq = trace.sequence
+    if args.out:
+        write_traces(args.out, [trace])
+        print(f"ingested {args.file}: {len(seq)} accesses over "
+              f"{seq.num_variables} variables -> {args.out}")
+    else:
+        print(render_traces([trace]))
+    return 0
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    traces = load_traces(args.file, format=args.format,
+                         **_ingest_kwargs(args))
+    if args.out:
+        write_traces(args.out, traces)
+        print(f"converted {args.file}: {len(traces)} trace(s) -> {args.out}")
+    else:
+        print(render_traces(traces))
+    return 0
+
+
+def main_trace(argv: Sequence[str] | None = None) -> int:
+    """Inspect, ingest and convert trace files."""
+    parser = argparse.ArgumentParser(
+        prog="repro-trace", description=main_trace.__doc__
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_stats = sub.add_parser("stats", help="per-trace structural statistics")
+    p_stats.add_argument("file", help="trace file (native or address format)")
+    p_stats.add_argument("--format", choices=_FORMATS, default="auto",
+                         help="input format (default: sniffed)")
+    _add_ingest_args(p_stats)
+    p_stats.set_defaults(func=_cmd_stats)
+
+    p_ingest = sub.add_parser(
+        "ingest", help="map a raw address trace to the native format"
+    )
+    p_ingest.add_argument("file", help="address-trace file (lines or CSV)")
+    p_ingest.add_argument("--out", default=None,
+                          help="output file (default: print to stdout)")
+    p_ingest.add_argument("--name", default=None,
+                          help="trace name (default: the file's stem)")
+    _add_ingest_args(p_ingest)
+    p_ingest.set_defaults(func=_cmd_ingest)
+
+    p_convert = sub.add_parser(
+        "convert", help="normalize any supported file into the native format"
+    )
+    p_convert.add_argument("file", help="trace file (native or address format)")
+    p_convert.add_argument("--out", default=None,
+                           help="output file (default: print to stdout)")
+    p_convert.add_argument("--format", choices=_FORMATS, default="auto",
+                           help="input format (default: sniffed)")
+    _add_ingest_args(p_convert)
+    p_convert.set_defaults(func=_cmd_convert)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except FileNotFoundError as exc:
+        print(f"repro-trace: {exc}", file=sys.stderr)
+        return 2
+    except ReproError as exc:
+        print(f"repro-trace: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - manual dispatch helper
+    sys.exit(main_trace())

@@ -1,6 +1,7 @@
-"""Plain-text trace format, in the spirit of OffsetStone sequence files.
+"""Trace file formats: the native text format and raw address traces.
 
-Format (one or more blocks per file)::
+Native format (one or more blocks per file, in the spirit of
+OffsetStone sequence files)::
 
     # comments and blank lines are ignored
     trace fir_kernel
@@ -13,22 +14,50 @@ Format (one or more blocks per file)::
 first appearance in ``seq``. ``seq`` may be repeated to continue long
 sequences. ``writes`` may be repeated as well; without it the default
 first-access-is-a-write rule applies.
+
+Address-trace format (gem5 / pintool style): one access per line,
+fields separated by whitespace, commas or colons. The address is the
+last *hex* field of the line (``0x``-prefixed, or bare hex ending in
+``h``) or, when no field is hex, the last decimal field; any field
+matching a read/write token (``R``/``W``/``read``/``write``/``ld``/
+``st``/``load``/``store``) sets the access direction (default: read).
+Other fields (ticks, PCs, sizes, core ids) are ignored, so ``0x1a2b``,
+``r 0x1a2b``, ``12345: W 0x1a2b 4`` and CSV rows like ``12345,w,0x1a2b``
+all parse. :func:`addresses_to_trace` then maps raw
+addresses to placement variables through the RTM geometry: addresses are
+grouped at the device's access granularity (``word_bytes``, one variable
+location per word — see :class:`repro.rtm.geometry.RTMConfig`), capped
+to the hottest ``max_vars`` words (working-set capping) and filtered of
+words touched fewer than ``min_count`` times (cold filtering).
+
+All parse failures raise :class:`~repro.errors.TraceFormatError` with
+the offending line number.
 """
 
 from __future__ import annotations
 
 import os
-from collections.abc import Iterable
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 
-from repro.errors import TraceFormatError
+from repro.errors import TraceError, TraceFormatError
 from repro.trace.sequence import AccessSequence
 from repro.trace.trace import MemoryTrace
 
+#: Tokens recognized as access-direction markers in address traces.
+_READ_TOKENS = frozenset({"r", "read", "ld", "load", "rd"})
+_WRITE_TOKENS = frozenset({"w", "write", "st", "store", "wr"})
+
 
 def parse_traces(text: str) -> list[MemoryTrace]:
-    """Parse all trace blocks from ``text``."""
+    """Parse all trace blocks from ``text`` (native format).
+
+    Malformed input — unknown keywords, out-of-range write indices,
+    duplicate or undeclared variables, unterminated blocks — raises
+    :class:`~repro.errors.TraceFormatError` naming the offending line
+    (for block-level defects, the block's opening line).
+    """
     traces: list[MemoryTrace] = []
     state: dict | None = None
 
@@ -36,13 +65,22 @@ def parse_traces(text: str) -> list[MemoryTrace]:
         nonlocal state
         if state is None:
             return
+        start = state["start_line"]
         if not state["seq"]:
             raise TraceFormatError(
-                f"line {line_no}: trace {state['name']!r} has an empty sequence"
+                f"line {start}: trace {state['name']!r} has an empty sequence"
             )
-        seq = AccessSequence(
-            state["seq"], variables=state["vars"] or None, name=state["name"]
-        )
+        try:
+            seq = AccessSequence(
+                state["seq"], variables=state["vars"] or None, name=state["name"]
+            )
+        except TraceError as exc:
+            # Surface sequence-level defects (duplicate vars, accesses to
+            # undeclared variables) as format errors tied to the block,
+            # instead of an opaque mid-parse TraceError.
+            raise TraceFormatError(
+                f"lines {start}-{line_no}: trace {state['name']!r}: {exc}"
+            ) from exc
         writes = None
         if state["writes"] is not None:
             writes = np.zeros(len(seq), dtype=bool)
@@ -56,6 +94,7 @@ def parse_traces(text: str) -> list[MemoryTrace]:
         traces.append(MemoryTrace(seq, writes))
         state = None
 
+    line_no = 0
     for line_no, raw in enumerate(text.splitlines(), start=1):
         line = raw.split("#", 1)[0].strip()
         if not line:
@@ -65,11 +104,13 @@ def parse_traces(text: str) -> list[MemoryTrace]:
         if keyword == "trace":
             if state is not None:
                 raise TraceFormatError(
-                    f"line {line_no}: 'trace' before previous block ended"
+                    f"line {line_no}: 'trace' before previous block "
+                    f"(opened at line {state['start_line']}) ended"
                 )
             if len(args) != 1:
                 raise TraceFormatError(f"line {line_no}: 'trace' takes one name")
-            state = {"name": args[0], "vars": [], "seq": [], "writes": None}
+            state = {"name": args[0], "vars": [], "seq": [], "writes": None,
+                     "start_line": line_no}
         elif keyword in ("vars", "seq", "writes", "end"):
             if state is None:
                 raise TraceFormatError(
@@ -94,7 +135,8 @@ def parse_traces(text: str) -> list[MemoryTrace]:
             raise TraceFormatError(f"line {line_no}: unknown keyword {keyword!r}")
     if state is not None:
         raise TraceFormatError(
-            f"trace {state['name']!r} not terminated with 'end'"
+            f"line {state['start_line']}: trace {state['name']!r} "
+            f"not terminated with 'end'"
         )
     return traces
 
@@ -117,16 +159,236 @@ def render_traces(traces: Iterable[MemoryTrace], wrap: int = 16) -> str:
     return "\n".join(out)
 
 
+def _read_text(path: str | os.PathLike) -> str:
+    """Read a trace file as UTF-8 text.
+
+    Binary files, directories and other unreadable paths become
+    :class:`~repro.errors.TraceFormatError`s (the library's clean-exit
+    contract); a missing file keeps raising :class:`FileNotFoundError`,
+    which callers special-case for friendlier messages.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return f.read()
+    except FileNotFoundError:
+        raise
+    except UnicodeDecodeError as exc:
+        raise TraceFormatError(
+            f"{os.fspath(path)}: not a text trace file ({exc})"
+        ) from exc
+    except OSError as exc:
+        raise TraceFormatError(f"{os.fspath(path)}: {exc}") from exc
+
+
 def read_traces(path: str | os.PathLike) -> list[MemoryTrace]:
-    """Read all traces from a file."""
-    with open(path, "r", encoding="utf-8") as f:
-        return parse_traces(f.read())
+    """Read all traces from a native-format file."""
+    return parse_traces(_read_text(path))
 
 
 def write_traces(path: str | os.PathLike, traces: Iterable[MemoryTrace]) -> None:
     """Write traces to a file in the text format."""
     with open(path, "w", encoding="utf-8") as f:
         f.write(render_traces(traces))
+
+
+# -- raw address traces ------------------------------------------------------
+
+
+def _parse_address(token: str) -> tuple[int, bool] | None:
+    """Parse one token as ``(address, is_hex)``; ``None`` if not numeric."""
+    t = token.lower()
+    try:
+        if t.startswith("0x"):
+            return int(t, 16), True
+        if t.endswith("h") and len(t) > 1:
+            return int(t[:-1], 16), True
+        return int(t, 10), False
+    except ValueError:
+        return None
+
+
+def parse_address_trace(text: str) -> tuple[np.ndarray, np.ndarray]:
+    """Parse a raw address trace into ``(addresses, writes)`` arrays.
+
+    See the module docstring for the accepted line shapes. Lines whose
+    only content is comments (``#``) or blanks are skipped; a line with
+    no parseable address raises :class:`~repro.errors.TraceFormatError`
+    with its line number.
+    """
+    addresses: list[int] = []
+    writes: list[bool] = []
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        fields = [f for f in line.replace(",", " ").replace(":", " ").split() if f]
+        addr = None
+        addr_is_hex = False
+        is_write = False
+        for token in fields:
+            lowered = token.lower()
+            if lowered in _WRITE_TOKENS:
+                is_write = True
+                continue
+            if lowered in _READ_TOKENS:
+                continue
+            parsed = _parse_address(token)
+            if parsed is not None:
+                value, is_hex = parsed
+                # Hex fields are addresses; decimals (ticks, sizes) only
+                # count when the line has no hex field at all.
+                if is_hex or not addr_is_hex:
+                    addr = value
+                    addr_is_hex = addr_is_hex or is_hex
+        if addr is None:
+            raise TraceFormatError(
+                f"line {line_no}: no address field in {raw.strip()!r}"
+            )
+        if addr < 0:
+            raise TraceFormatError(
+                f"line {line_no}: address must be non-negative, got {addr}"
+            )
+        addresses.append(addr)
+        writes.append(is_write)
+    if not addresses:
+        raise TraceFormatError("address trace contains no accesses")
+    return (np.asarray(addresses, dtype=np.int64),
+            np.asarray(writes, dtype=bool))
+
+
+def addresses_to_trace(
+    addresses: Sequence[int] | np.ndarray,
+    writes: Sequence[bool] | np.ndarray | None = None,
+    *,
+    word_bytes: int | None = None,
+    config=None,
+    max_vars: int | None = None,
+    min_count: int = 1,
+    limit: int | None = None,
+    name: str = "addrtrace",
+) -> MemoryTrace:
+    """Map raw addresses to a placement trace through the RTM geometry.
+
+    ``word_bytes`` is the access granularity: addresses in the same
+    ``word_bytes``-sized word collapse to one variable (one DBC location
+    holds one word). It defaults to the ``word_bytes`` of ``config`` (an
+    :class:`~repro.rtm.geometry.RTMConfig`) or, with neither given, the
+    Table-I device's 32-track / 4-byte word. ``limit`` truncates the raw
+    access stream first; then words accessed fewer than ``min_count``
+    times are dropped (cold filtering) and, if ``max_vars`` is given,
+    only the hottest ``max_vars`` words are kept (working-set capping,
+    ties broken by lower address). Variables are named ``m<hex word
+    index>`` in first-touch order.
+    """
+    if word_bytes is None:
+        if config is not None:
+            word_bytes = config.word_bytes
+        else:
+            from repro.rtm.geometry import RTMConfig
+
+            word_bytes = RTMConfig(dbcs=1).word_bytes
+    if word_bytes < 1:
+        raise TraceError(f"word_bytes must be >= 1, got {word_bytes}")
+    if min_count < 1:
+        raise TraceError(f"min_count must be >= 1, got {min_count}")
+    if max_vars is not None and max_vars < 1:
+        raise TraceError(f"max_vars must be >= 1, got {max_vars}")
+    if limit is not None and limit < 1:
+        raise TraceError(f"limit must be >= 1, got {limit}")
+    addrs = np.asarray(addresses, dtype=np.int64)
+    if addrs.size == 0:
+        raise TraceError("cannot build a trace from zero addresses")
+    mask: np.ndarray | None
+    if writes is None:
+        mask = None  # fall back to the first-access-is-a-write rule
+    else:
+        mask = np.asarray(writes, dtype=bool)
+        if mask.shape != addrs.shape:
+            raise TraceError(
+                f"writes mask has shape {mask.shape}, expected {addrs.shape}"
+            )
+    if limit is not None:
+        addrs = addrs[:limit]
+        mask = mask[:limit] if mask is not None else None
+    words = addrs // word_bytes
+    uniq, counts = np.unique(words, return_counts=True)
+    keep = uniq[counts >= min_count]
+    if max_vars is not None and keep.size > max_vars:
+        kept_counts = counts[counts >= min_count]
+        # Hottest first; np.argsort is stable, so equal counts keep
+        # ascending-address order after the descending-count sort.
+        order = np.argsort(-kept_counts, kind="stable")[:max_vars]
+        keep = keep[np.sort(order)]
+    if keep.size == 0:
+        raise TraceError(
+            f"no word survives min_count={min_count} over "
+            f"{addrs.size} accesses"
+        )
+    selected = np.isin(words, keep)
+    words = words[selected]
+    mask = mask[selected] if mask is not None else None
+    if words.size == 0:  # pragma: no cover - keep.size > 0 implies accesses
+        raise TraceError("filtered trace is empty")
+    names = {w: f"m{w:x}" for w in keep}
+    accesses = [names[w] for w in words]
+    return MemoryTrace.from_accesses(accesses, writes=mask, name=name)
+
+
+def read_address_trace(
+    path: str | os.PathLike, name: str | None = None, **kwargs
+) -> MemoryTrace:
+    """Read a raw address-trace file and map it to a placement trace.
+
+    Keyword arguments are forwarded to :func:`addresses_to_trace`; the
+    trace name defaults to the file's stem.
+    """
+    addrs, writes = parse_address_trace(_read_text(path))
+    if name is None:
+        name = os.path.splitext(os.path.basename(os.fspath(path)))[0]
+    return addresses_to_trace(addrs, writes, name=name, **kwargs)
+
+
+def detect_trace_format(text: str) -> str:
+    """Classify ``text`` as ``'trace'`` (native) or ``'addr'`` (raw).
+
+    The native format's first meaningful line must open a block with the
+    ``trace`` keyword; anything else is treated as an address trace.
+    """
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        return "trace" if line.split()[0].lower() == "trace" else "addr"
+    return "trace"
+
+
+def load_traces(
+    path: str | os.PathLike, format: str = "auto", **kwargs
+) -> list[MemoryTrace]:
+    """Read traces from ``path`` in either supported format.
+
+    ``format`` is ``'trace'`` (native), ``'addr'`` (raw addresses) or
+    ``'auto'`` (sniffed via :func:`detect_trace_format`). Keyword
+    arguments apply to address ingestion only and are rejected for
+    native files.
+    """
+    if format not in ("auto", "trace", "addr"):
+        raise TraceFormatError(
+            f"unknown trace format {format!r}; choose auto, trace or addr"
+        )
+    text = _read_text(path)
+    if format == "auto":
+        format = detect_trace_format(text)
+    if format == "trace":
+        if kwargs:
+            raise TraceError(
+                f"native trace files take no ingestion options, "
+                f"got {sorted(kwargs)}"
+            )
+        return parse_traces(text)
+    addrs, writes = parse_address_trace(text)
+    name = os.path.splitext(os.path.basename(os.fspath(path)))[0]
+    return [addresses_to_trace(addrs, writes, name=name, **kwargs)]
 
 
 def _chunks(items: list[str], size: int) -> Iterable[list[str]]:

@@ -129,3 +129,60 @@ class TestExperimentStoreFlags:
         with pytest.raises(SystemExit):
             main_experiment(["fig6", "--store", str(tmp_path / "s.db"),
                              "--shard", "2/2"])
+
+
+class TestExperimentWorkloads:
+    @pytest.fixture(autouse=True)
+    def smoke_profile(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "smoke")
+        monkeypatch.delenv("REPRO_WORKLOADS", raising=False)
+
+    def test_list_workloads(self, capsys):
+        assert main_experiment(["--list-workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "offsetstone" in out and "interleave" in out
+        assert "h263" in out  # the suite names are listed too
+
+    def test_experiment_required_without_list(self):
+        with pytest.raises(SystemExit):
+            main_experiment([])
+
+    def test_workloads_flag_drives_the_matrix(self, trace_file, capsys):
+        rc = main_experiment([
+            "fig6", "--workloads", f"file:{trace_file}", "kernels:fir",
+        ])
+        assert rc == 0
+        assert "Fig. 6" in capsys.readouterr().out
+
+    def test_flag_first_ordering_reclaims_experiment(self, trace_file, capsys):
+        # nargs='+' swallows the trailing positional; the CLI reclaims it.
+        rc = main_experiment(["--workloads", f"file:{trace_file}", "fig6"])
+        assert rc == 0
+        assert "Fig. 6" in capsys.readouterr().out
+
+    def test_from_store_regenerates_external_workload(
+        self, trace_file, tmp_path, capsys
+    ):
+        from repro.eval.runner import clear_cell_cache, last_matrix_stats
+
+        store = str(tmp_path / "s.db")
+        spec = f"file:{trace_file}@tile=2"
+        clear_cell_cache()
+        assert main_experiment(["fig6", "--workloads", spec,
+                                "--store", store]) == 0
+        assert last_matrix_stats().computed > 0
+        clear_cell_cache()
+        assert main_experiment(["fig6", "--workloads", spec, "--store", store,
+                                "--from-store"]) == 0
+        stats = last_matrix_stats()
+        assert stats.computed == 0 and stats.hits_store == stats.cells_total
+
+    def test_bad_workload_spec_fails_cleanly(self, capsys):
+        rc = main_experiment(["fig6", "--workloads", "nope:x"])
+        assert rc == 2
+        assert "unknown workload source" in capsys.readouterr().err
+
+    def test_env_workloads_respected(self, monkeypatch, trace_file, capsys):
+        monkeypatch.setenv("REPRO_WORKLOADS", f"file:{trace_file}")
+        assert main_experiment(["fig6"]) == 0
+        assert "Fig. 6" in capsys.readouterr().out

@@ -1,0 +1,88 @@
+"""Unit tests for the ``repro-trace`` entry point."""
+
+import pytest
+
+from repro.trace.cli import main_trace
+from repro.trace.io import read_traces, write_traces
+from repro.trace.trace import MemoryTrace
+
+
+@pytest.fixture
+def native_file(tmp_path, fig3_sequence):
+    path = tmp_path / "fig3.trc"
+    write_traces(path, [MemoryTrace(fig3_sequence)])
+    return str(path)
+
+
+@pytest.fixture
+def address_file(tmp_path):
+    path = tmp_path / "app.csv"
+    path.write_text("\n".join(
+        f"{'w' if i % 5 == 0 else 'r'},0x{4096 + 4 * (i % 6):x}"
+        for i in range(60)
+    ))
+    return str(path)
+
+
+class TestStats:
+    def test_native_file(self, native_file, capsys):
+        assert main_trace(["stats", native_file]) == 0
+        out = capsys.readouterr().out
+        assert "fig3" in out and "Accesses" in out
+
+    def test_address_file_with_ingestion_knobs(self, address_file, capsys):
+        assert main_trace(["stats", address_file, "--word", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "app" in out
+
+    def test_missing_file_exits_cleanly(self, capsys):
+        assert main_trace(["stats", "/no/such/file"]) == 2
+        assert "repro-trace:" in capsys.readouterr().err
+
+
+class TestIngest:
+    def test_writes_native_output(self, address_file, tmp_path, capsys):
+        out_path = tmp_path / "out.trc"
+        assert main_trace(["ingest", address_file, "--out", str(out_path),
+                           "--min-count", "2"]) == 0
+        (trace,) = read_traces(out_path)
+        assert len(trace) > 0
+        assert "ingested" in capsys.readouterr().out
+
+    def test_stdout_when_no_out(self, address_file, capsys):
+        assert main_trace(["ingest", address_file]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("trace app")
+
+    def test_custom_name_and_cap(self, address_file, tmp_path):
+        out_path = tmp_path / "out.trc"
+        assert main_trace(["ingest", address_file, "--out", str(out_path),
+                           "--name", "demo", "--max-vars", "3"]) == 0
+        (trace,) = read_traces(out_path)
+        assert trace.name == "demo"
+        assert trace.sequence.num_variables <= 3
+
+    def test_malformed_input_exits_cleanly(self, tmp_path, capsys):
+        bad = tmp_path / "bad.atrc"
+        bad.write_text("not an address\n")
+        assert main_trace(["ingest", str(bad)]) == 2
+        assert "no address" in capsys.readouterr().err
+
+
+class TestConvert:
+    def test_native_normalization_roundtrip(self, native_file, tmp_path):
+        out_path = tmp_path / "norm.trc"
+        assert main_trace(["convert", native_file, "--out", str(out_path)]) == 0
+        assert read_traces(out_path) == read_traces(native_file)
+
+    def test_address_to_native(self, address_file, tmp_path):
+        out_path = tmp_path / "conv.trc"
+        assert main_trace(["convert", address_file, "--out",
+                           str(out_path)]) == 0
+        (trace,) = read_traces(out_path)
+        assert trace.name == "app"
+
+    def test_stats_rejects_knobs_on_forced_native(self, native_file, capsys):
+        assert main_trace(["stats", native_file, "--format", "trace",
+                           "--word", "8"]) == 2
+        assert "only apply" in capsys.readouterr().err

@@ -33,5 +33,6 @@ def test_expected_examples_present():
         "online_vs_static",
         "program_layout",
         "tensor_scratchpad",
+        "external_trace_ingestion",
     }
     assert required <= names, required - names

@@ -1,9 +1,20 @@
-"""Unit tests for the trace text format (repro.trace.io)."""
+"""Unit tests for the trace file formats (repro.trace.io)."""
 
+import numpy as np
 import pytest
 
-from repro.errors import TraceFormatError
-from repro.trace.io import parse_traces, read_traces, render_traces, write_traces
+from repro.errors import TraceError, TraceFormatError
+from repro.trace.io import (
+    addresses_to_trace,
+    detect_trace_format,
+    load_traces,
+    parse_address_trace,
+    parse_traces,
+    read_address_trace,
+    read_traces,
+    render_traces,
+    write_traces,
+)
 from repro.trace.trace import MemoryTrace
 
 
@@ -63,6 +74,24 @@ class TestParseErrors:
         with pytest.raises(TraceFormatError, match=match):
             parse_traces(text)
 
+    def test_errors_carry_line_numbers(self):
+        with pytest.raises(TraceFormatError, match="line 3"):
+            parse_traces("# comment\ntrace t\nbork\n")
+
+    def test_duplicate_vars_are_format_errors_with_lines(self):
+        text = "trace t\nvars a a\nseq a\nend\n"
+        with pytest.raises(TraceFormatError, match="lines 1-4.*duplicate"):
+            parse_traces(text)
+
+    def test_undeclared_access_is_a_format_error(self):
+        text = "trace t\nvars a\nseq a b\nend\n"
+        with pytest.raises(TraceFormatError, match="undeclared"):
+            parse_traces(text)
+
+    def test_unterminated_block_names_its_opening_line(self):
+        with pytest.raises(TraceFormatError, match="line 2.*'t'"):
+            parse_traces("# header\ntrace t\nseq a\n")
+
 
 class TestRoundtrip:
     def test_render_parse_roundtrip(self, fig3_trace):
@@ -87,3 +116,124 @@ class TestRoundtrip:
         assert max(len(line) for line in text.splitlines()) < 120
         (back,) = parse_traces(text)
         assert back == t
+
+    def test_parse_render_parse_identity(self, small_sequence, fig3_trace):
+        traces = [MemoryTrace(small_sequence), fig3_trace]
+        text = render_traces(traces)
+        once = parse_traces(text)
+        again = parse_traces(render_traces(once))
+        assert once == traces
+        assert again == once
+
+
+ADDR_SAMPLE = """\
+# gem5-style lines, CSV rows and bare addresses all mix
+1000: R 0x1000 4
+1001: W 0x1004 4
+1002,r,0x1008
+w 0x1000
+4104
+"""
+
+
+class TestAddressTraces:
+    def test_parse_lines(self):
+        addrs, writes = parse_address_trace(ADDR_SAMPLE)
+        assert addrs.tolist() == [0x1000, 0x1004, 0x1008, 0x1000, 4104]
+        assert writes.tolist() == [False, True, False, True, False]
+
+    def test_hex_beats_trailing_decimal_size(self):
+        addrs, _ = parse_address_trace("R 0x2000 8\n")
+        assert addrs.tolist() == [0x2000]
+
+    def test_decimal_only_lines(self):
+        addrs, _ = parse_address_trace("8192\n8196\n")
+        assert addrs.tolist() == [8192, 8196]
+
+    @pytest.mark.parametrize("text,match", [
+        ("", "no accesses"),
+        ("R W\n", "line 1: no address"),
+        ("0x10\nR nope\n", "line 2: no address"),
+        ("-4\n", "non-negative"),
+    ])
+    def test_malformed_address_lines(self, text, match):
+        with pytest.raises(TraceFormatError, match=match):
+            parse_address_trace(text)
+
+    def test_word_granularity_groups_addresses(self):
+        addrs = np.array([0, 1, 4, 5, 8])
+        t = addresses_to_trace(addrs, word_bytes=4)
+        assert t.sequence.accesses == ("m0", "m0", "m1", "m1", "m2")
+        t8 = addresses_to_trace(addrs, word_bytes=8)
+        assert t8.sequence.accesses == ("m0", "m0", "m0", "m0", "m1")
+
+    def test_default_word_is_the_32_track_word(self):
+        t = addresses_to_trace([0, 3, 4])
+        assert t.sequence.accesses == ("m0", "m0", "m1")
+
+    def test_cold_filter_drops_rare_words(self):
+        addrs = [0, 0, 0, 4, 8, 8]
+        t = addresses_to_trace(addrs, word_bytes=4, min_count=2)
+        assert set(t.sequence.accesses) == {"m0", "m2"}
+        assert len(t) == 5
+
+    def test_working_set_cap_keeps_hottest(self):
+        addrs = [0] * 5 + [4] * 3 + [8] * 1
+        t = addresses_to_trace(addrs, word_bytes=4, max_vars=2)
+        assert set(t.sequence.accesses) == {"m0", "m1"}
+
+    def test_cap_ties_break_by_lower_address(self):
+        addrs = [0, 4, 8, 0, 4, 8]
+        t = addresses_to_trace(addrs, word_bytes=4, max_vars=2)
+        assert set(t.sequence.accesses) == {"m0", "m1"}
+
+    def test_limit_truncates_before_filtering(self):
+        addrs = [0, 4, 8, 12]
+        t = addresses_to_trace(addrs, word_bytes=4, limit=2)
+        assert len(t) == 2
+
+    def test_explicit_writes_survive_mapping(self):
+        t = addresses_to_trace([0, 4, 0], writes=[True, False, True],
+                               word_bytes=4)
+        assert t.writes.tolist() == [True, False, True]
+
+    def test_default_writes_follow_first_access_rule(self):
+        t = addresses_to_trace([0, 4, 0], word_bytes=4)
+        assert t.writes.tolist() == [True, True, False]
+
+    def test_everything_filtered_raises(self):
+        with pytest.raises(TraceError, match="min_count"):
+            addresses_to_trace([0, 4, 8], word_bytes=4, min_count=2)
+
+    def test_read_address_trace_names_from_stem(self, tmp_path):
+        path = tmp_path / "app.atrc"
+        path.write_text("0x10\n0x14\n")
+        t = read_address_trace(path)
+        assert t.name == "app"
+        assert len(t) == 2
+
+
+class TestLoadTraces:
+    def test_detects_native_format(self):
+        assert detect_trace_format("# c\ntrace t\nseq a\nend\n") == "trace"
+        assert detect_trace_format("0x1000\n") == "addr"
+        assert detect_trace_format("1000: R 0x4 4\n") == "addr"
+
+    def test_auto_loads_both_formats(self, tmp_path, fig3_trace):
+        native = tmp_path / "n.trc"
+        write_traces(native, [fig3_trace])
+        assert load_traces(native) == [fig3_trace]
+        raw = tmp_path / "r.csv"
+        raw.write_text("r,0x0\nw,0x4\n")
+        (t,) = load_traces(raw)
+        assert t.sequence.accesses == ("m0", "m1")
+
+    def test_ingestion_kwargs_rejected_for_native(self, tmp_path, fig3_trace):
+        native = tmp_path / "n.trc"
+        write_traces(native, [fig3_trace])
+        with pytest.raises(TraceError, match="no ingestion options"):
+            load_traces(native, max_vars=4)
+
+    def test_unknown_format_rejected(self, tmp_path):
+        with pytest.raises(TraceFormatError, match="unknown trace format"):
+            load_traces(tmp_path / "x", format="bogus")

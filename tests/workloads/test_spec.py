@@ -1,0 +1,76 @@
+"""Unit tests for the workload-spec grammar."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import parse_workload_spec
+from repro.workloads.spec import TransformSpec, WorkloadSpec
+
+
+class TestParse:
+    def test_bare_name_defaults_to_offsetstone(self):
+        spec = parse_workload_spec("h263")
+        assert spec.source == "offsetstone"
+        assert spec.payload == "h263"
+        assert spec.is_plain
+
+    def test_explicit_source(self):
+        spec = parse_workload_spec("kernels:matmul")
+        assert (spec.source, spec.payload) == ("kernels", "matmul")
+
+    def test_params_sorted_into_canonical(self):
+        spec = parse_workload_spec("synthetic:zipf,vars=20,alpha=1.5")
+        assert spec.params == (("alpha", "1.5"), ("vars", "20"))
+        assert spec.canonical == "synthetic:zipf,alpha=1.5,vars=20"
+
+    def test_file_payload_keeps_path(self):
+        spec = parse_workload_spec("file:traces/app.trc,word=8")
+        assert spec.payload == "traces/app.trc"
+        assert spec.params == (("word", "8"),)
+
+    def test_transform_chain_order_preserved(self):
+        spec = parse_workload_spec("jpeg@phases=4@interleave=2")
+        assert [t.name for t in spec.transforms] == ["phases", "interleave"]
+        assert spec.transforms[0].args == ("4",)
+        assert not spec.is_plain
+
+    def test_transform_kwargs(self):
+        spec = parse_workload_spec("jpeg@subsample=p=0.5")
+        assert spec.transforms[0].kwargs == (("p", "0.5"),)
+
+    def test_transform_without_args(self):
+        spec = parse_workload_spec("jpeg@tile")
+        assert spec.transforms == (TransformSpec(name="tile"),)
+
+    def test_whitespace_tolerated(self):
+        spec = parse_workload_spec("  synthetic : zipf , vars=8 @ tile=2 ")
+        assert spec.canonical == "synthetic:zipf,vars=8@tile=2"
+
+    def test_workload_spec_passthrough(self):
+        spec = WorkloadSpec(source="kernels", payload="fir")
+        assert parse_workload_spec(spec) is spec
+
+    def test_canonical_is_reparseable(self):
+        text = "synthetic:phased,phases=4,vars=6@interleave=2@subsample=0.5"
+        spec = parse_workload_spec(text)
+        assert parse_workload_spec(spec.canonical) == spec
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize("text", [
+        "",
+        "   ",
+        ":payload",
+        "source:",
+        "kernels:fir,vars",       # bare param token
+        "kernels:fir,=3",         # empty key
+        "kernels:fir,k=",         # empty value
+        "kernels:fir,k=1,k=2",    # repeated parameter
+        "jpeg@",                  # empty transform
+        "jpeg@=4",                # transform with no name
+        "jpeg@tile=,",            # empty transform argument
+        "jpeg@stretch=length=5,length=9",  # repeated transform parameter
+    ])
+    def test_malformed_specs(self, text):
+        with pytest.raises(WorkloadError):
+            parse_workload_spec(text)

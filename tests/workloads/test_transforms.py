@@ -1,0 +1,156 @@
+"""Unit tests for the scenario transforms."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.trace.sequence import AccessSequence
+from repro.trace.trace import MemoryTrace
+from repro.workloads import available_transforms
+from repro.workloads.spec import TransformSpec
+from repro.workloads.transforms import apply_transform
+
+
+def _trace(accesses, name="t", writes=None):
+    return MemoryTrace(AccessSequence(accesses, name=name), writes)
+
+
+def _rng():
+    return np.random.default_rng(123)
+
+
+def _apply(name, traces, *args, **kwargs):
+    spec = TransformSpec(
+        name=name,
+        args=tuple(str(a) for a in args),
+        kwargs=tuple(sorted((k, str(v)) for k, v in kwargs.items())),
+    )
+    return apply_transform(spec, tuple(traces), _rng())
+
+
+class TestInterleave:
+    def test_merges_groups_preserving_stream_order(self):
+        a = _trace(list("xyz"), name="a")
+        b = _trace(list("pqr"), name="b")
+        (merged,) = _apply("interleave", [a, b], 2)
+        assert len(merged) == 6
+        # Universes are prefixed and disjoint.
+        assert set(merged.variables) == {
+            "t0.x", "t0.y", "t0.z", "t1.p", "t1.q", "t1.r"
+        }
+        # Each constituent's internal order survives the shuffle.
+        seq = list(merged.sequence)
+        assert [v for v in seq if v.startswith("t0.")] == ["t0.x", "t0.y", "t0.z"]
+        assert [v for v in seq if v.startswith("t1.")] == ["t1.p", "t1.q", "t1.r"]
+
+    def test_carries_write_flags(self):
+        a = _trace(list("xy"), writes=[True, False])
+        b = _trace(list("pq"), writes=[False, True])
+        (merged,) = _apply("interleave", [a, b], 2)
+        assert merged.num_writes == 2
+
+    def test_group_of_one_passes_through(self):
+        a = _trace(list("xyz"))
+        (out,) = _apply("interleave", [a], 4)
+        assert out.sequence.accesses == a.sequence.accesses
+
+
+class TestPhases:
+    def test_splits_into_contiguous_phases(self):
+        t = _trace(list("aabbcc"), name="t")
+        out = _apply("phases", [t], 3)
+        assert [tr.sequence.accesses for tr in out] == [
+            ("a", "a"), ("b", "b"), ("c", "c")
+        ]
+        assert [tr.name for tr in out] == ["t.ph0", "t.ph1", "t.ph2"]
+        # Each phase keeps only its own variables.
+        assert out[0].variables == ("a",)
+
+    def test_short_traces_yield_fewer_phases(self):
+        t = _trace(list("ab"))
+        out = _apply("phases", [t], 5)
+        assert sum(len(tr) for tr in out) == 2
+
+
+class TestTileStretch:
+    def test_tile_repeats_stream(self):
+        t = _trace(list("ab"), writes=[True, False])
+        (out,) = _apply("tile", [t], 3)
+        assert out.sequence.accesses == ("a", "b") * 3
+        assert list(out.writes) == [True, False] * 3
+
+    def test_stretch_hits_exact_length(self):
+        t = _trace(list("abc"))
+        (out,) = _apply("stretch", [t], 7)
+        assert len(out) == 7
+        assert out.sequence.accesses == ("a", "b", "c", "a", "b", "c", "a")
+
+    def test_stretch_truncation_keeps_declared_universe(self):
+        # Unaccessed variables still need a location (like `tile`).
+        t = _trace(list("abc"))
+        (out,) = _apply("stretch", [t], 2)
+        assert out.sequence.accesses == ("a", "b")
+        assert out.variables == ("a", "b", "c")
+
+
+class TestSkew:
+    def test_copies_are_rotated_and_renamed(self):
+        t = _trace(list("abcd"), name="t")
+        out = _apply("skew", [t], 2)
+        assert len(out) == 2
+        assert out[0].sequence.accesses == ("c0.a", "c0.b", "c0.c", "c0.d")
+        assert out[1].sequence.accesses == ("c1.c", "c1.d", "c1.a", "c1.b")
+        assert not set(out[0].variables) & set(out[1].variables)
+
+    def test_copies_keep_the_declared_universe(self):
+        # Every copy is the same placement problem: unaccessed declared
+        # variables still demand a location.
+        t = MemoryTrace(AccessSequence(list("ab"), variables=list("abu")))
+        out = _apply("skew", [t], 2)
+        assert out[0].variables == ("c0.a", "c0.b", "c0.u")
+        assert out[1].variables == ("c1.a", "c1.b", "c1.u")
+
+
+class TestSubsample:
+    def test_keeps_roughly_p_accesses(self):
+        t = _trace(["v%d" % (i % 7) for i in range(400)])
+        (out,) = _apply("subsample", [t], 0.5)
+        assert 100 < len(out) < 300
+        assert set(out.variables) <= set(t.variables)
+
+    def test_never_empties_a_trace(self):
+        t = _trace(list("ab"))
+        (out,) = _apply("subsample", [t], 0.001)
+        assert len(out) >= 1
+
+    def test_rejects_bad_probability(self):
+        t = _trace(list("ab"))
+        with pytest.raises(WorkloadError, match="probability"):
+            _apply("subsample", [t], 1.5)
+
+
+class TestBinding:
+    def test_unknown_transform(self):
+        with pytest.raises(WorkloadError, match="unknown transform"):
+            _apply("bogus", [_trace(list("ab"))])
+
+    def test_unknown_parameter(self):
+        with pytest.raises(WorkloadError, match="no parameter"):
+            _apply("tile", [_trace(list("ab"))], z=3)
+
+    def test_too_many_positionals(self):
+        with pytest.raises(WorkloadError, match="at most"):
+            _apply("tile", [_trace(list("ab"))], 1, 2)
+
+    def test_parameter_given_twice(self):
+        with pytest.raises(WorkloadError, match="twice"):
+            _apply("tile", [_trace(list("ab"))], 2, k=3)
+
+    def test_non_integer_arg(self):
+        with pytest.raises(WorkloadError, match="integer"):
+            _apply("tile", [_trace(list("ab"))], "x")
+
+    def test_registry_lists_all_builtins(self):
+        names = set(available_transforms())
+        assert {"interleave", "phases", "tile", "stretch", "skew",
+                "subsample"} <= names
