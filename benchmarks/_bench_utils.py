@@ -2,12 +2,15 @@
 
 Rendered artifacts are written to ``results/`` and queued so the
 ``pytest_terminal_summary`` hook (in ``conftest.py``) can echo them into
-the benchmark log.
+the benchmark log. :class:`RssSampler` adds ``psutil``-free peak-memory
+observation (parent + descendant workers) for the parallel benches.
 """
 
 from __future__ import annotations
 
 import os
+import threading
+import time
 from pathlib import Path
 
 from repro.eval.profiles import profile_from_env
@@ -39,3 +42,91 @@ def publish_text(title: str, text: str) -> None:
     slug = title.lower().replace(" ", "_").replace("/", "-").replace(":", "")
     (RESULTS_DIR / f"{slug}.txt").write_text(text + "\n", encoding="utf-8")
     REPORTS.append(f"{title}\n{text}")
+
+
+# -- psutil-free RSS sampling -------------------------------------------------
+
+
+def _read_rss_kib(pid: int) -> int:
+    """Current VmRSS of ``pid`` in KiB via ``/proc`` (0 if gone/unsupported)."""
+    try:
+        with open(f"/proc/{pid}/status", "rb") as fh:
+            for line in fh:
+                if line.startswith(b"VmRSS:"):
+                    return int(line.split()[1])
+    except OSError:
+        pass
+    return 0
+
+
+def _descendant_pids(pid: int) -> list[int]:
+    """All live descendants of ``pid`` through ``/proc/*/task/*/children``."""
+    out: list[int] = []
+    frontier = [pid]
+    while frontier:
+        parent = frontier.pop()
+        try:
+            with open(
+                f"/proc/{parent}/task/{parent}/children", "rb"
+            ) as fh:
+                kids = [int(tok) for tok in fh.read().split()]
+        except OSError:
+            continue
+        out.extend(kids)
+        frontier.extend(kids)
+    return out
+
+
+class RssSampler:
+    """Peak resident memory of this process tree, sampled from ``/proc``.
+
+    ``psutil``-free: a daemon thread sums ``VmRSS`` over the parent and
+    every live descendant (pool workers included) a few times per
+    second. ``peak_mib`` is the largest sum observed — an *observed*
+    peak, not an exact high-water mark, which is plenty to make the
+    zero-copy claim measurable: pickled-suite workers each carry their
+    own copy of the arrays, shared-arena workers map one. On platforms
+    without ``/proc`` the sampler degrades to reporting 0 rather than
+    failing the bench.
+
+    Use as a context manager around the timed region::
+
+        with RssSampler() as mem:
+            run_matrix(...)
+        print(mem.peak_mib)
+    """
+
+    def __init__(self, interval_s: float = 0.05):
+        self._interval = interval_s
+        self._pid = os.getpid()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self.peak_kib = 0
+
+    def _sample_once(self) -> int:
+        total = _read_rss_kib(self._pid)
+        for pid in _descendant_pids(self._pid):
+            total += _read_rss_kib(pid)
+        return total
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            self.peak_kib = max(self.peak_kib, self._sample_once())
+            time.sleep(self._interval)
+        self.peak_kib = max(self.peak_kib, self._sample_once())
+
+    def __enter__(self) -> "RssSampler":
+        self._stop.clear()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    @property
+    def peak_mib(self) -> float:
+        return self.peak_kib / 1024.0

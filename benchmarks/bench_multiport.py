@@ -9,8 +9,9 @@ closed both gaps; this benchmark tracks them:
 * **replay** — 1-D trace replay per port count: reference (per-access
   Python) vs numpy (per-gap transition tables + blocked monoid scan).
   Gated at ``--min-replay-speedup`` (default 8x) for the gate ports
-  (default 2 and 4 — the packed-table scan; 8 ports use the explicit
-  map representation and are reported ungated).
+  (default 2, 4 and 8 — narrow ports run the packed-table scan, 8
+  ports the constant-collapse state chase, all gated alike since the
+  collapse scan closed the wide-port gap).
 * **population** — nearest-port ``evaluate_batch`` over a GA-sized
   candidate matrix vs the retired per-row fallback (one 1-D engine run
   per candidate, reconstructed here as the baseline). Gated at
@@ -150,8 +151,9 @@ def main(argv=None) -> int:
     parser.add_argument("--domains", type=int, default=128)
     parser.add_argument("--ports", type=int, nargs="+", default=[2, 4, 8],
                         help="port counts for the replay rows")
-    parser.add_argument("--gate-ports", type=int, nargs="+", default=[2, 4],
-                        help="port counts the gates apply to")
+    parser.add_argument("--gate-ports", type=int, nargs="+", default=[2, 4, 8],
+                        help="port counts the gates apply to (replay gating "
+                             "and the population rows)")
     # The population workload mirrors bench_batch_eval's suite-median
     # GA generation (~32 variables, ~250 accesses, 200 candidates).
     parser.add_argument("--population", type=int, default=200)

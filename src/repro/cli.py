@@ -215,6 +215,13 @@ def main_experiment(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--workers", type=int, default=None,
                         help="matrix-runner processes (default: profile / "
                              "REPRO_WORKERS; 0 = all cores)")
+    parser.add_argument("--shared-traces", action="store_true",
+                        default=None,
+                        help="publish compiled traces to pool workers "
+                             "through one zero-copy shared-memory arena "
+                             "instead of pickling the suite per worker "
+                             "(default: profile / REPRO_SHARED_TRACES; "
+                             "bit-identical results, needs --workers > 1)")
     parser.add_argument("--search-scale", type=float, default=None,
                         help="multiply the GA population and RW iteration "
                              "budgets (default: profile / REPRO_SEARCH_SCALE)")
@@ -260,6 +267,8 @@ def main_experiment(argv: Sequence[str] | None = None) -> int:
         profile = replace(profile, engine_backend=args.backend)
     if args.workers is not None:
         profile = replace(profile, workers=args.workers)
+    if args.shared_traces is not None:
+        profile = replace(profile, shared_traces=args.shared_traces)
     if args.search_scale is not None:
         if not math.isfinite(args.search_scale) or args.search_scale <= 0:
             parser.error("--search-scale must be a finite number > 0")

@@ -34,9 +34,12 @@ from repro.engine.batch import (
     stack_candidate_arrays,
 )
 from repro.engine.compile import (
+    ArenaSpec,
+    SharedTraceArena,
     clear_compile_caches,
     compile_access_arrays,
     trace_fingerprint,
+    try_create_arena,
 )
 from repro.engine.numpy_backend import NumpyBackend, single_port_warm_total
 from repro.engine.reference import ReferenceBackend
@@ -83,11 +86,13 @@ def get_backend(backend: object = None):
 
 
 __all__ = [
+    "ArenaSpec",
     "DEFAULT_BACKEND",
     "DeltaCost",
     "NumpyBackend",
     "PortPolicy",
     "ReferenceBackend",
+    "SharedTraceArena",
     "ShiftRequest",
     "ShiftResult",
     "available_backends",
@@ -101,4 +106,5 @@ __all__ = [
     "stack_candidate_arrays",
     "step",
     "trace_fingerprint",
+    "try_create_arena",
 ]

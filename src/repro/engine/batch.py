@@ -321,7 +321,12 @@ def _batch_nearest(
     degrades gracefully to a few rows — eventually one — per pass, which
     still beats per-row engine calls (no per-request validation, no
     per-row result objects). This retired the old ``_batch_per_row``
-    fallback entirely.
+    fallback entirely. Port widths beyond the packed-table bound
+    (``p**p > 256``) inherit the constant-collapse scan
+    (:func:`~repro.engine.numpy_backend._scan_collapse`) through
+    :func:`~repro.engine.numpy_backend.nearest_costs_flat`, so K=200
+    population scoring at 8 ports runs the same collapsed state chase
+    as replay.
     """
     k, n = dbc.shape
     totals = np.empty(k, dtype=np.int64)

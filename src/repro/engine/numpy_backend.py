@@ -17,13 +17,16 @@ domain of ``p`` ports. We materialize those per-access port maps in bulk
 (one ``searchsorted`` against the cached nearest-port decision
 boundaries) and resolve the sequential dependency with a monoid prefix
 composition over the maps: Hillis–Steele doubling for short inputs, and
-a *blocked* two-level scan for long ones — compose within fixed-length
-blocks with one vectorized table gather per in-block position (linear
-work, vectorized across all blocks at once), scan the per-block totals,
-then evaluate every in-block prefix at its block's entry state. A run's
-first access is a *constant* map (its choice is fixed by the known
-starting offset), so composed prefixes spanning it are constant maps
-too and runs cannot leak state into each other.
+a *blocked* scan for long ones. Narrow alphabets (``p**p <= 256``) pack
+each map into one base-``p`` integer composed through a cached monoid
+table; wider ports use the *constant-collapse* representation — each map
+is ``(kind, value)``, constant or an explicit row — exploiting that any
+composition ending in a constant *is* that constant, so prefix states
+collapse to scalar values at the first constant map and stay scalar
+(see :func:`_scan_collapse`). A run's first access is a *constant* map
+(its choice is fixed by the known starting offset), so composed prefixes
+spanning it are constant maps too and runs cannot leak state into each
+other.
 
 *Cold start* needs no simulation at all: warm and cold controllers make
 identical port choices, so cold cost is the warm cost plus the first
@@ -167,15 +170,16 @@ def _anchored_costs(
 
 @lru_cache(maxsize=256)
 def _transition_tables(domains: int, ports: int) -> np.ndarray:
-    """Per-gap port-transition maps for one track geometry.
+    """Per-gap *packed* port-transition maps for one track geometry.
 
     The map an access applies depends only on its slot gap ``g`` to the
     previous access: entering with port ``k``, the target is ``g +
     positions[k]`` and the chosen port is the nearest one. All ``2K - 1``
-    possible gaps are enumerated once; building the per-access ``(N, p)``
-    maps is then a single gather at ``gap + (K - 1)``. Ports that fit
-    the packed encoding (``p**p <= _TABLE_MAX``) store one base-``p``
-    integer per gap, wider ports one map row per gap.
+    possible gaps are enumerated once; building the per-access maps is
+    then a single gather at ``gap + (K - 1)``. Only ports that fit the
+    packed encoding (``p**p <= _TABLE_MAX``) use this table — one
+    base-``p`` integer per gap; wider ports go through
+    :func:`_gap_maps`.
     """
     positions = positions_array(domains, ports)
     boundaries = boundaries_array(domains, ports)
@@ -183,12 +187,39 @@ def _transition_tables(domains: int, ports: int) -> np.ndarray:
     rows = np.searchsorted(
         boundaries, gaps[:, None] + positions[None, :], side="left"
     )
-    if ports ** ports <= _TABLE_MAX:
-        out = rows @ (ports ** np.arange(ports, dtype=np.int64))
-    else:
-        out = np.ascontiguousarray(rows, dtype=np.intp)
+    out = rows @ (ports ** np.arange(ports, dtype=np.int64))
     out.setflags(write=False)
     return out
+
+
+def _map_dtype(ports: int) -> type:
+    """Narrowest signed dtype holding port indices plus the -1 sentinel."""
+    return np.int8 if ports <= 127 else np.int16
+
+
+@lru_cache(maxsize=256)
+def _gap_maps(domains: int, ports: int) -> tuple[np.ndarray, np.ndarray]:
+    """Per-gap ``(rows, const)`` transition maps for wide-port geometries.
+
+    The constant-collapse representation: ``rows[g]`` is the explicit
+    ``prev -> next`` map of gap ``g`` and ``const[g]`` its value when the
+    map is *constant* (same chosen port whatever the previous one was),
+    ``-1`` otherwise. Nearest-port maps are monotone (the targets ``g +
+    positions[k]`` increase with ``k``), so a map is constant exactly
+    when its first and last entries agree. Narrow dtypes keep the
+    per-access gathers' memory traffic at one byte per entry.
+    """
+    positions = positions_array(domains, ports)
+    boundaries = boundaries_array(domains, ports)
+    dtype = _map_dtype(ports)
+    gaps = np.arange(-(domains - 1), domains, dtype=np.int64)
+    rows = np.searchsorted(
+        boundaries, gaps[:, None] + positions[None, :], side="left"
+    ).astype(dtype)
+    const = np.where(rows[:, 0] == rows[:, -1], rows[:, 0], -1).astype(dtype)
+    rows.setflags(write=False)
+    const.setflags(write=False)
+    return rows, const
 
 
 def nearest_costs_flat(
@@ -241,13 +272,24 @@ def nearest_costs_flat(
         chosen = _scan_packed(enc, ports)
     else:
         if use_table:
-            port_map = _transition_tables(domains, ports)[gap + (domains - 1)]
+            g_rows, g_const = _gap_maps(domains, ports)
+            at = gap + (domains - 1)
+            rows = g_rows[at]
+            const = g_const[at]
         else:
-            port_map = np.searchsorted(
+            dtype = _map_dtype(ports)
+            rows = np.searchsorted(
                 boundaries, gap[:, None] + positions[None, :], side="left"
-            )
-        port_map[first_idx] = first_port[:, None]
-        chosen = _scan_maps(port_map, ports)
+            ).astype(dtype)
+            const = np.where(
+                rows[:, 0] == rows[:, -1], rows[:, 0], -1
+            ).astype(dtype)
+        const[first_idx] = first_port.astype(const.dtype)
+        if n <= _DOUBLING_MAX:
+            rows[first_idx] = first_port[:, None].astype(rows.dtype)
+            chosen = _scan_maps(rows)
+        else:
+            chosen = _scan_collapse(const, rows, ports)
     prev = np.empty(n, dtype=np.intp)
     prev[0] = 0
     prev[1:] = chosen[:-1]
@@ -337,17 +379,22 @@ def _scan_packed(enc: np.ndarray, p: int) -> np.ndarray:
     return _blocked_scan_packed(enc, p)
 
 
-def _scan_maps(port_map: np.ndarray, p: int) -> np.ndarray:
-    """Port chosen at each access, from explicit ``(n, p)`` map rows."""
-    n = port_map.shape[0]
-    if n <= _DOUBLING_MAX:
-        prefix = port_map.copy()
-        span = 1
-        while span < n:
-            prefix[span:] = np.take_along_axis(prefix[span:], prefix[:-span], axis=1)
-            span *= 2
-        return prefix[:, 0]  # rows are constant maps: any column works
-    return _blocked_scan_maps(port_map, p)
+def _scan_maps(port_map: np.ndarray) -> np.ndarray:
+    """Port chosen at each access, from explicit ``(n, p)`` map rows.
+
+    Hillis–Steele doubling over the raw rows — O(n log n) composes but
+    few numpy calls, so it wins for short inputs. Long inputs go through
+    :func:`_scan_collapse` instead, which exploits that prefixes are
+    constant maps; this helper stays as the simple oracle-adjacent
+    fallback for ``n <= _DOUBLING_MAX``.
+    """
+    prefix = port_map.copy()
+    n = prefix.shape[0]
+    span = 1
+    while span < n:
+        prefix[span:] = np.take_along_axis(prefix[span:], prefix[:-span], axis=1)
+        span *= 2
+    return prefix[:, 0]  # rows are constant maps: any column works
 
 
 def _blocked_scan_packed(enc: np.ndarray, p: int) -> np.ndarray:
@@ -390,27 +437,108 @@ def _blocked_scan_packed(enc: np.ndarray, p: int) -> np.ndarray:
     return np.ascontiguousarray(chosen.T).ravel()[:n]
 
 
-def _blocked_scan_maps(port_map: np.ndarray, p: int) -> np.ndarray:
-    """Blocked scan over explicit ``(n, p)`` maps (ports too wide to pack)."""
-    n = port_map.shape[0]
+#: Deepest run of consecutive constant-free blocks the collapse scan
+#: repairs with cheap serial passes before switching to the doubling
+#: fallback over explicit block summaries.
+_COLLAPSE_DEPTH_MAX = 64
+
+
+def _scan_collapse(
+    const_val: np.ndarray, rows: np.ndarray, p: int
+) -> np.ndarray:
+    """Constant-collapse scan over wide-port ``(const, rows)`` map streams.
+
+    Any composition ending in a constant map *is* that constant, so the
+    prefix state at access ``i`` collapses to a scalar at the most
+    recent constant map and stays scalar through the explicit rows that
+    follow. The scan therefore never composes maps at all — it *chases
+    states*: split the stream into ``_SCAN_BLOCK``-length blocks and run
+    one vectorized chase step per in-block position over every block at
+    once (a constant overwrites the state, an explicit row gathers it),
+    tracking O(blocks) scalars instead of O(blocks * p) map rows.
+
+    A provisional chase from entry state 0 is exact from each block's
+    last constant onward, so its block-end states are exact wherever a
+    block contains a constant. The rare constant-free blocks get their
+    explicit ``p``-row summary composed directly, then a
+    ``maximum.accumulate`` forward fill of the exact states (the any-p
+    generalization of the packed path's p=2 degenerate case) repairs
+    them in ``depth`` passes — bounded by the longest constant-free run,
+    with a doubling scan over summary rows as the adversarial-input
+    fallback. A final chase with true entry states is needed only when
+    some entry is nonzero. Element 0 must be a constant (reset) map.
+    """
+    n = const_val.size
     blocks = -(-n // _SCAN_BLOCK)
-    padded = np.empty((blocks * _SCAN_BLOCK, p), dtype=port_map.dtype)
-    padded[:n] = port_map
-    padded[n:] = np.arange(p, dtype=port_map.dtype)  # identity padding
-    cols = np.ascontiguousarray(
-        padded.reshape(blocks, _SCAN_BLOCK, p).transpose(1, 0, 2)
+    pad = blocks * _SCAN_BLOCK - n
+    if pad:
+        const_val = np.concatenate(
+            [const_val, np.full(pad, -1, const_val.dtype)]
+        )
+        rows = np.concatenate(
+            [rows, np.tile(np.arange(p, dtype=rows.dtype), (pad, 1))]
+        )
+    # Transpose so chase step i touches contiguous per-block lanes.
+    cvT = np.ascontiguousarray(const_val.reshape(blocks, _SCAN_BLOCK).T)
+    rT = np.ascontiguousarray(
+        rows.reshape(blocks, _SCAN_BLOCK, p).transpose(1, 0, 2)
     )
-    prefix = np.empty_like(cols)
-    prefix[0] = cols[0]
-    for i in range(1, _SCAN_BLOCK):
-        prefix[i] = np.take_along_axis(cols[i], prefix[i - 1], axis=1)
-    carry = prefix[-1].copy()
-    span = 1
-    while span < blocks:
-        carry[span:] = np.take_along_axis(carry[span:], carry[:-span], axis=1)
-        span *= 2
+    base = np.arange(blocks, dtype=np.intp) * p
+
+    def chase(entry: np.ndarray) -> np.ndarray:
+        out = np.empty((_SCAN_BLOCK, blocks), dtype=cvT.dtype)
+        cur = entry
+        for i in range(_SCAN_BLOCK):
+            c = cvT[i]
+            nxt = rT[i].ravel()[base + cur]
+            cur = np.where(c >= 0, c, nxt)
+            out[i] = cur
+        return out
+
+    provisional = chase(np.zeros(blocks, dtype=np.intp))
+    if blocks == 1:
+        return provisional.T.ravel()[:n].astype(np.intp)
+    state_after = provisional[-1].astype(np.intp)
+    has_const = cvT.max(axis=0) >= 0
+    no_const = np.flatnonzero(~has_const)
+    if no_const.size:
+        # Constant-free blocks need their full map: compose their rows.
+        sub = rows.reshape(blocks, _SCAN_BLOCK, p)[no_const]
+        summary = sub[:, 0, :].astype(np.intp)
+        for i in range(1, _SCAN_BLOCK):
+            summary = np.take_along_axis(
+                sub[:, i, :].astype(np.intp), summary, axis=1
+            )
+        idx = np.arange(blocks)
+        last_exact = np.maximum.accumulate(np.where(has_const, idx, -1))
+        depth = idx - last_exact  # >= 1 exactly on constant-free blocks
+        max_depth = int(depth[no_const].max())
+        if max_depth <= _COLLAPSE_DEPTH_MAX:
+            compact = np.full(blocks, -1, dtype=np.intp)
+            compact[no_const] = np.arange(no_const.size)
+            for d in range(1, max_depth + 1):
+                sel = no_const[depth[no_const] == d]
+                if not sel.size:
+                    break
+                prev = np.where(
+                    sel > 0, state_after[np.maximum(sel - 1, 0)], 0
+                )
+                state_after[sel] = summary[compact[sel], prev]
+        else:
+            # Adversarial streams (long constant-free runs): doubling
+            # over explicit block summaries, exact blocks as constants.
+            S = np.empty((blocks, p), dtype=np.intp)
+            S[has_const] = state_after[has_const][:, None]
+            S[no_const] = summary
+            span = 1
+            while span < blocks:
+                S[span:] = np.take_along_axis(S[span:], S[:-span], axis=1)
+                span *= 2
+            state_after = S[:, 0]
     entry = np.empty(blocks, dtype=np.intp)
     entry[0] = 0
-    entry[1:] = carry[:-1, 0]
-    chosen = np.take_along_axis(prefix, entry[None, :, None], axis=2)[:, :, 0]
-    return np.ascontiguousarray(chosen.T).ravel()[:n]
+    entry[1:] = state_after[:-1]
+    # The provisional chase already assumed entry 0 everywhere; redo the
+    # in-block resolution only if some true entry state differs.
+    chosen = provisional if not entry.any() else chase(entry)
+    return np.ascontiguousarray(chosen.T).ravel()[:n].astype(np.intp)

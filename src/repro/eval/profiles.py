@@ -37,6 +37,13 @@ disk across processes, runs resume after interruption and shards share
 work — see ``docs/experiments.md``. ``offline`` turns the store into
 the only allowed source (report regeneration without simulation).
 
+``shared_traces`` (``REPRO_SHARED_TRACES``, ``--shared-traces``) makes
+parallel matrix runs publish the compiled traces once through a
+zero-copy shared-memory arena instead of pickling the whole suite into
+every pool worker — bit-identical results, flat memory in the worker
+count. See "Sharing compiled traces across workers" in
+``docs/experiments.md``.
+
 ``workloads`` replaces the benchmark list with arbitrary workload specs
 resolved through :mod:`repro.workloads` (``offsetstone:h263``,
 ``file:traces/app.trc@interleave=2``, ...) — see ``docs/workloads.md``.
@@ -85,6 +92,12 @@ class EvalProfile:
     #: Workload specs resolved through :mod:`repro.workloads`; ``None``
     #: means "the ``benchmarks`` names as bare offsetstone specs".
     workloads: tuple[str, ...] | None = None
+    #: Share compiled traces with pool workers through one zero-copy
+    #: ``multiprocessing.shared_memory`` arena instead of pickling the
+    #: suite per worker (``--shared-traces`` / ``REPRO_SHARED_TRACES``).
+    #: Bit-identical either way; falls back to pickling where shm is
+    #: unavailable. Only matters when ``workers > 1``.
+    shared_traces: bool = False
 
     @property
     def workload_specs(self) -> tuple[str, ...]:
@@ -173,6 +186,18 @@ def profile_from_env(default: str = "quick") -> EvalProfile:
     store = os.environ.get("REPRO_STORE")
     if store:
         profile = replace(profile, store=store)
+    shared = os.environ.get("REPRO_SHARED_TRACES")
+    if shared:
+        norm = shared.strip().lower()
+        if norm in ("1", "true", "yes", "on"):
+            profile = replace(profile, shared_traces=True)
+        elif norm in ("0", "false", "no", "off"):
+            profile = replace(profile, shared_traces=False)
+        else:
+            raise ExperimentError(
+                f"REPRO_SHARED_TRACES must be a boolean flag "
+                f"(1/0/true/false/yes/no/on/off), got {shared!r}"
+            )
     workloads = os.environ.get("REPRO_WORKLOADS")
     if workloads:
         # Separated by whitespace or ';' — never ',', which is part of

@@ -10,7 +10,11 @@ The full matrix is embarrassingly parallel and the runner exploits that:
   (``workers > 1``), each worker rebuilding its policies from picklable
   *specs* (policy closures do not pickle) and every cell receiving the
   same deterministic RNG seed it would get serially — ``workers=1`` and
-  ``workers=N`` are bit-identical;
+  ``workers=N`` are bit-identical; with ``shared_traces`` on
+  (``--shared-traces`` / ``REPRO_SHARED_TRACES``) the compiled traces
+  are published once through a zero-copy shared-memory arena
+  (:class:`~repro.engine.compile.SharedTraceArena`) instead of pickled
+  into every worker;
 * results are de-duplicated through a content-keyed cache: a cell is
   keyed by the digest of its traces, its policy spec, its configuration
   and (for stochastic policies only) its seed, so re-running overlapping
@@ -295,9 +299,31 @@ def _cell_key(
 
 # -- process-pool plumbing ---------------------------------------------------
 
-#: Per-worker state installed by the pool initializer: the (pickled-once)
-#: programs/configs and the policies rebuilt from their specs.
+#: Per-worker state installed by the pool initializer: the programs
+#: (pickled once, or rehydrated zero-copy from a shared-memory arena),
+#: the configs and the policies rebuilt from their specs.
 _WORKER: dict = {}
+
+
+def _reset_worker_state() -> None:
+    """Tear down any state a previous pool left in this process.
+
+    Forked workers inherit — and ``fork``-started pools within one
+    process accumulate — the previous run's ``_WORKER`` dict and the
+    engine's compiled-trace caches. Without this reset, every
+    consecutive ``run_matrix`` call in one process leaked the prior
+    suite's compiled arrays through ``_WORKER`` (regression-tested);
+    clearing the compile caches alongside keeps the worker's footprint
+    proportional to *its* suite, not the union of every suite its
+    ancestor processes ever touched.
+    """
+    from repro.engine.compile import clear_compile_caches
+
+    arena = _WORKER.pop("arena", None)
+    if arena is not None:
+        arena.close()
+    _WORKER.clear()
+    clear_compile_caches()
 
 
 def _init_worker(
@@ -305,7 +331,15 @@ def _init_worker(
     specs: Sequence[PolicySpec],
     configs: Sequence[RTMConfig],
     backend: object,
+    arena_spec=None,
 ) -> None:
+    _reset_worker_state()
+    if arena_spec is not None:
+        from repro.engine.compile import SharedTraceArena
+
+        arena = SharedTraceArena.attach(arena_spec)
+        _WORKER["arena"] = arena  # keeps the mapping alive with the views
+        programs = arena.programs()
     _WORKER["programs"] = list(programs)
     _WORKER["policies"] = [get_policy(n, **kw) for n, kw in specs]
     _WORKER["configs"] = list(configs)
@@ -395,6 +429,7 @@ def run_matrix(
     store=None,
     shard: tuple[int, int] | str | None = None,
     offline: bool | None = None,
+    shared_traces: bool | None = None,
 ) -> dict[tuple[str, str, int], CellResult]:
     """Run the full (program x config x policy) matrix.
 
@@ -420,6 +455,15 @@ def run_matrix(
     :class:`~repro.errors.ExperimentError` is raised — the
     "regenerate reports without recomputing" mode.
 
+    ``shared_traces`` (default: the profile's flag) publishes the
+    compiled traces to pool workers through one zero-copy shared-memory
+    arena (:class:`~repro.engine.compile.SharedTraceArena`) instead of
+    pickling the suite into every worker — bit-identical results, and
+    peak memory stays flat in the worker count. Platforms without shm
+    fall back to pickling transparently. The arena lives exactly as
+    long as the pool: created right before it, closed and unlinked in a
+    ``finally`` (plus an ``atexit`` guard) even when a worker crashes.
+
     Hit/miss counters for the run are available afterwards via
     :func:`last_matrix_stats`.
     """
@@ -434,6 +478,8 @@ def run_matrix(
         backend = profile.engine_backend
     if offline is None:
         offline = profile.offline
+    if shared_traces is None:
+        shared_traces = profile.shared_traces
     if isinstance(shard, str):
         shard = parse_shard(shard)
     workers = _resolve_workers(workers)
@@ -482,7 +528,7 @@ def run_matrix(
             _compute_pending(
                 pending, programs, policies, specs, configs, backend,
                 workers, use_cache, store_obj, stats, results,
-                policy_names, profile, shard,
+                policy_names, profile, shard, shared_traces,
             )
     finally:
         _LAST_STATS = stats
@@ -495,6 +541,7 @@ def run_matrix(
 def _compute_pending(
     pending, programs, policies, specs, configs, backend, workers,
     use_cache, store_obj, stats, results, policy_names, profile, shard,
+    shared_traces=False,
 ) -> None:
     """Compute the cache-missing cells, persisting each as it lands.
 
@@ -522,14 +569,25 @@ def _compute_pending(
             store_obj.put_cell(key, cell, run_id=run_id)
 
     status = "failed"
+    arena = None
     try:
         jobs = [job for _, job, _ in pending]
         if workers > 1 and len(pending) > 1:
+            if shared_traces:
+                from repro.engine.compile import try_create_arena
+
+                arena = try_create_arena(programs)
+            if arena is not None:
+                # Workers rebuild the suite from zero-copy shm views;
+                # only skeletons (names, variables) travel by pickle.
+                initargs = ((), specs, configs, backend, arena.spec)
+            else:
+                initargs = (programs, specs, configs, backend)
             pool_size = min(workers, len(pending))
             with ProcessPoolExecutor(
                 max_workers=pool_size,
                 initializer=_init_worker,
-                initargs=(programs, specs, configs, backend),
+                initargs=initargs,
             ) as pool:
                 for entry, cell in zip(pending, pool.map(_run_cell_job, jobs)):
                     commit(entry, cell)
@@ -543,6 +601,8 @@ def _compute_pending(
                 commit(entry, cell)
         status = "complete"
     finally:
+        if arena is not None:
+            arena.dispose()
         if store_obj is not None:
             store_obj.finish_run(
                 run_id,

@@ -165,6 +165,51 @@ class AccessSequence:
         kept = [self._variables[c] for c in self._codes[mask]]
         return AccessSequence(kept, variables=keep_vars, name=name or self._name)
 
+    @classmethod
+    def from_codes(
+        cls,
+        variables: Sequence[str],
+        codes: np.ndarray,
+        name: str = "",
+    ) -> "AccessSequence":
+        """Build a sequence directly from integer codes, without copying.
+
+        The zero-copy rehydration path: ``codes`` must be a read-only
+        int64 array of valid indices into ``variables`` — typically a
+        view into a shared-memory buffer (see
+        :class:`~repro.engine.compile.SharedTraceArena`). Writable
+        arrays are defensively frozen-by-copy so the sequence stays
+        immutable; read-only inputs are adopted as-is.
+        """
+        variables = tuple(variables)
+        if not variables:
+            raise TraceError("an access sequence needs at least one variable")
+        index: dict[str, int] = {}
+        for i, v in enumerate(variables):
+            if not isinstance(v, str) or not v:
+                raise TraceError(
+                    f"variable names must be non-empty strings, got {v!r}"
+                )
+            if v in index:
+                raise TraceError(f"duplicate variable {v!r}")
+            index[v] = i
+        codes = np.asarray(codes, dtype=np.int64)
+        if codes.ndim != 1:
+            raise TraceError(f"codes must be 1-D, got shape {codes.shape}")
+        if codes.size and (
+            int(codes.min()) < 0 or int(codes.max()) >= len(variables)
+        ):
+            raise TraceError("codes reference variables outside the universe")
+        if codes.flags.writeable:
+            codes = codes.copy()
+            codes.setflags(write=False)
+        seq = cls.__new__(cls)
+        seq._variables = variables
+        seq._index = index
+        seq._codes = codes
+        seq._name = name
+        return seq
+
     def with_name(self, name: str) -> "AccessSequence":
         clone = AccessSequence.__new__(AccessSequence)
         clone._variables = self._variables

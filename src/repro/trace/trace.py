@@ -39,8 +39,12 @@ class MemoryTrace:
             raise TraceError(
                 f"writes mask has shape {writes.shape}, expected ({len(sequence)},)"
             )
-        writes = writes.copy()
-        writes.setflags(write=False)
+        if writes.flags.writeable:
+            # Freeze by copy so later caller mutations cannot leak in.
+            # Already-read-only masks (shared-memory views rehydrated by
+            # the arena, another trace's mask) are adopted zero-copy.
+            writes = writes.copy()
+            writes.setflags(write=False)
         self._seq = sequence
         self._writes = writes
 

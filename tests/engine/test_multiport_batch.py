@@ -28,6 +28,7 @@ from repro.engine import (
 )
 from repro.engine.numpy_backend import (
     _DOUBLING_MAX,
+    _gap_maps,
     _transition_tables,
     boundaries_array,
     positions_array,
@@ -160,8 +161,13 @@ class TestCachedGeometryTables:
     def test_transition_table_shapes(self):
         packed = _transition_tables(64, 2)     # packed: one int per gap
         assert packed.shape == (127,)
-        wide = _transition_tables(64, 8)       # explicit: one map row per gap
-        assert wide.shape == (127, 8)
+        rows, const = _gap_maps(64, 8)         # wide: rows plus const lane
+        assert rows.shape == (127, 8)
+        assert const.shape == (127,)
+        # Constant lane agrees with the rows it summarizes.
+        is_const = rows[:, 0] == rows[:, -1]
+        assert np.array_equal(const >= 0, is_const)
+        assert np.array_equal(const[is_const], rows[is_const, 0])
 
 
 class TestMultiPortDeltaCost:
