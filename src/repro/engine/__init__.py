@@ -41,6 +41,7 @@ from repro.engine.compile import (
     trace_fingerprint,
     try_create_arena,
 )
+from repro.engine.cursor import ShiftCursor
 from repro.engine.numpy_backend import NumpyBackend, single_port_warm_total
 from repro.engine.reference import ReferenceBackend
 from repro.engine.semantics import PortPolicy, port_positions, select_port, step
@@ -93,6 +94,7 @@ __all__ = [
     "PortPolicy",
     "ReferenceBackend",
     "SharedTraceArena",
+    "ShiftCursor",
     "ShiftRequest",
     "ShiftResult",
     "available_backends",

@@ -62,7 +62,16 @@ def trace_fingerprint(trace) -> str:
     write mask — not on object identity or the process — so it can key
     caches that survive re-generation of identical workloads and agree
     across worker processes.
+
+    Traces that carry their own digest — streaming traces expose
+    ``content_fingerprint``, computed incrementally during ingestion
+    and equal by construction to this function over the materialized
+    twin — are trusted rather than materialized, which is what keeps
+    store cell keys independent of residency mode.
     """
+    fp = getattr(trace, "content_fingerprint", None)
+    if fp is not None:
+        return fp
     h = hashlib.sha256()
     seq = trace.sequence
     h.update("\x00".join(seq.variables).encode())
@@ -315,7 +324,19 @@ def try_create_arena(programs) -> SharedTraceArena | None:
     no ``/dev/shm`` — fall back to ``None``, meaning "pickle the
     programs to workers as before"; results are bit-identical either
     way, the arena only changes where the bytes live.
+
+    Streaming traces are deliberately not serialized: their whole point
+    is that the access arrays never materialize, and they already travel
+    cheaply by pickle (census metadata plus a spill path). A suite
+    containing any streamed trace skips the arena entirely.
     """
+    for program in programs:
+        if any(hasattr(t, "chunks") for t in program.traces):
+            logger.info(
+                "suite contains streaming traces; skipping the shared-"
+                "memory arena (streamed chunks never materialize)"
+            )
+            return None
     try:
         return SharedTraceArena.create(programs)
     except Exception as exc:

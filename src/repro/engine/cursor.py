@@ -1,0 +1,172 @@
+"""Resumable chunked replay: the :class:`ShiftCursor`.
+
+A cursor is the engine-side half of streaming replay: it owns the
+per-DBC head state (``offsets``/``aligned``) plus the accumulated
+access/shift/write counters, and :meth:`ShiftCursor.replay_chunk`
+advances all of it by one compiled chunk. Because both backends'
+monoid-scan formulations accept a carry-in (``init_offsets``/
+``init_aligned`` on :class:`~repro.engine.types.ShiftRequest`), the
+scan is associative across chunk boundaries: replaying a trace in
+chunks of *any* size — including one access at a time — produces
+bit-identical counters and final state to a single monolithic
+:meth:`run` of the whole trace. That invariance is the cursor's
+contract, enforced by the equivalence test matrix over chunk sizes,
+backends, port counts and cold/warm starts.
+
+``warm_start`` composes correctly with the carry: the engine only
+grants the free first-access alignment to DBCs whose carried
+``aligned`` flag is still False, so a DBC first touched in chunk 7
+gets exactly the same free alignment it would get monolithically, and
+a DBC already aligned by an earlier chunk is charged normally.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.semantics import PortPolicy
+from repro.engine.types import ShiftRequest, ShiftResult
+from repro.errors import SimulationError
+
+
+class ShiftCursor:
+    """Carryable replay state over a fixed DBC geometry.
+
+    Parameters mirror :class:`~repro.engine.types.ShiftRequest` minus
+    the access arrays, which arrive chunk by chunk. ``init_offsets`` /
+    ``init_aligned`` seed the cursor mid-state (e.g. from a controller
+    that already executed earlier traces); by default every DBC starts
+    at offset 0, unaligned.
+    """
+
+    def __init__(
+        self,
+        num_dbcs: int,
+        domains: int,
+        ports: int = 1,
+        policy: PortPolicy = PortPolicy.NEAREST,
+        warm_start: bool = True,
+        backend: object = None,
+        init_offsets: np.ndarray | None = None,
+        init_aligned: np.ndarray | None = None,
+    ) -> None:
+        from repro.engine import get_backend
+
+        if num_dbcs < 1:
+            raise SimulationError(f"num_dbcs must be >= 1, got {num_dbcs}")
+        self.num_dbcs = int(num_dbcs)
+        self.domains = int(domains)
+        self.ports = int(ports)
+        self.policy = policy
+        self.warm_start = warm_start
+        self._backend = get_backend(backend)
+        if init_offsets is None:
+            self._offsets = np.zeros(self.num_dbcs, dtype=np.int64)
+        else:
+            self._offsets = np.array(init_offsets, dtype=np.int64)
+        if init_aligned is None:
+            self._aligned = np.zeros(self.num_dbcs, dtype=bool)
+        else:
+            self._aligned = np.array(init_aligned, dtype=bool)
+        self._per_dbc_shifts = np.zeros(self.num_dbcs, dtype=np.int64)
+        self._accesses = 0
+        self._shifts = 0
+        self._writes = 0
+
+    # -- replay --------------------------------------------------------------
+
+    def replay_chunk(
+        self,
+        dbc: np.ndarray,
+        slot: np.ndarray,
+        writes: np.ndarray | None = None,
+    ) -> ShiftResult:
+        """Advance the cursor by one compiled chunk.
+
+        ``dbc``/``slot`` are the chunk's per-access arrays (trace
+        order); ``writes`` optionally feeds the cursor's write counter
+        for energy accounting. Returns the chunk's own
+        :class:`~repro.engine.types.ShiftResult` (counters for *this*
+        chunk; final state = the cursor's new state).
+        """
+        result = self._backend.run(
+            ShiftRequest(
+                dbc=dbc,
+                slot=slot,
+                num_dbcs=self.num_dbcs,
+                domains=self.domains,
+                ports=self.ports,
+                policy=self.policy,
+                warm_start=self.warm_start,
+                init_offsets=self._offsets,
+                init_aligned=self._aligned,
+            )
+        )
+        self._offsets = np.asarray(result.final_offsets, dtype=np.int64)
+        self._aligned = np.asarray(result.final_aligned, dtype=bool)
+        self._per_dbc_shifts += np.asarray(result.per_dbc_shifts,
+                                           dtype=np.int64)
+        self._accesses += result.accesses
+        self._shifts += result.shifts
+        if writes is not None:
+            self._writes += int(np.count_nonzero(writes))
+        return result
+
+    def result(self) -> ShiftResult:
+        """The accumulated totals as one :class:`ShiftResult`.
+
+        Equal — by the associativity contract — to the result of one
+        monolithic run over the concatenation of every chunk replayed
+        so far.
+        """
+        return ShiftResult(
+            accesses=self._accesses,
+            shifts=self._shifts,
+            per_dbc_shifts=tuple(int(s) for s in self._per_dbc_shifts),
+            final_offsets=self._offsets.copy(),
+            final_aligned=self._aligned.copy(),
+        )
+
+    def reset(self) -> None:
+        """Return to the cold initial state (offset 0, unaligned, zeros)."""
+        self._offsets = np.zeros(self.num_dbcs, dtype=np.int64)
+        self._aligned = np.zeros(self.num_dbcs, dtype=bool)
+        self._per_dbc_shifts = np.zeros(self.num_dbcs, dtype=np.int64)
+        self._accesses = 0
+        self._shifts = 0
+        self._writes = 0
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def offsets(self) -> np.ndarray:
+        """Current per-DBC head offsets (int64, length ``num_dbcs``)."""
+        return self._offsets
+
+    @property
+    def aligned(self) -> np.ndarray:
+        """Per-DBC flag: has this DBC been accessed (head meaningful)?"""
+        return self._aligned
+
+    @property
+    def per_dbc_shifts(self) -> np.ndarray:
+        return self._per_dbc_shifts
+
+    @property
+    def accesses(self) -> int:
+        return self._accesses
+
+    @property
+    def shifts(self) -> int:
+        return self._shifts
+
+    @property
+    def writes(self) -> int:
+        return self._writes
+
+    def __repr__(self) -> str:
+        return (
+            f"<ShiftCursor {self.num_dbcs} DBCs x {self.domains} domains, "
+            f"{self.ports} port(s): {self._accesses} accesses, "
+            f"{self._shifts} shifts>"
+        )

@@ -157,7 +157,19 @@ def run_policy_on_program(
     rng=None,
     backend: object = None,
 ) -> CellResult:
-    """Place and simulate every sequence of ``program`` independently."""
+    """Place and simulate every sequence of ``program`` independently.
+
+    Streaming traces (anything exposing ``chunks()``) take the
+    bounded-memory path: placement sees the trace's (possibly windowed)
+    :meth:`~repro.trace.streaming.StreamingTrace.placement_sequence`,
+    the simulator replays chunk by chunk, and on multi-port geometries
+    the analytic single-port ``shifts`` column is computed by an
+    observer :class:`~repro.engine.ShiftCursor` riding the same pass —
+    warm single-port cost is independent of the port anchor, so the
+    observer reproduces :func:`~repro.core.cost.shift_cost` exactly.
+    With the default full placement window, a streamed cell is
+    bit-identical to its in-memory twin.
+    """
     gen = ensure_rng(rng)
     params = params_for(config)
     capacity = config.locations_per_dbc
@@ -165,9 +177,36 @@ def run_policy_on_program(
     total_shifts = 0
     total_report: SimReport | None = None
     for trace in program.traces:
-        seq = trace.sequence
+        streaming = hasattr(trace, "chunks")
+        seq = trace.placement_sequence() if streaming else trace.sequence
         placement = policy.place(seq, config.dbcs, capacity, rng=gen)
         placement.validate_for(seq, num_dbcs=config.dbcs, capacity=capacity)
+        if streaming:
+            del seq  # transient: placement done, drop the materialized codes
+            from repro.engine.cursor import ShiftCursor
+            from repro.rtm.controller import RTMController
+
+            controller = RTMController(
+                config, placement, params=params, backend=backend
+            )
+            if single_port:
+                report = controller.execute_stream(trace)
+                total_shifts += report.shifts
+            else:
+                observer = ShiftCursor(
+                    num_dbcs=placement.num_dbcs, domains=capacity,
+                    ports=1, warm_start=True, backend=backend,
+                )
+                report = controller.execute_stream(
+                    trace,
+                    chunk_hooks=(
+                        lambda _c, dbc, slot: observer.replay_chunk(dbc, slot),
+                    ),
+                )
+                total_shifts += observer.shifts
+            total_report = (report if total_report is None
+                            else total_report + report)
+            continue
         report = simulate(trace, placement, config, params=params,
                           backend=backend)
         if single_port:

@@ -93,15 +93,20 @@ class RTMController:
         except KeyError:
             raise SimulationError(f"variable {variable!r} has no location") from None
 
-    def _compile(self, trace: MemoryTrace) -> tuple[np.ndarray, np.ndarray]:
-        """Per-access ``(dbc, slot)`` arrays for a trace under this mapping."""
-        seq = trace.sequence
-        var_dbc = np.full(seq.num_variables, -1, dtype=np.int64)
-        var_slot = np.full(seq.num_variables, -1, dtype=np.int64)
-        for code, name in enumerate(seq.variables):
+    def _variable_luts(self, variables) -> tuple[np.ndarray, np.ndarray]:
+        """Code-indexed ``(dbc, slot)`` lookup tables (-1 for unplaced)."""
+        var_dbc = np.full(len(variables), -1, dtype=np.int64)
+        var_slot = np.full(len(variables), -1, dtype=np.int64)
+        for code, name in enumerate(variables):
             loc = self._location.get(name)
             if loc is not None:
                 var_dbc[code], var_slot[code] = loc
+        return var_dbc, var_slot
+
+    def _compile(self, trace: MemoryTrace) -> tuple[np.ndarray, np.ndarray]:
+        """Per-access ``(dbc, slot)`` arrays for a trace under this mapping."""
+        seq = trace.sequence
+        var_dbc, var_slot = self._variable_luts(seq.variables)
         codes = seq.codes
         if codes.size:
             used = np.unique(codes)
@@ -111,29 +116,15 @@ class RTMController:
                 raise SimulationError(f"variable {name!r} has no location")
         return var_dbc[codes], var_slot[codes]
 
-    def execute(self, trace: MemoryTrace) -> SimReport:
-        """Run one trace to completion and report counters and energy."""
+    def _report(self, reads: int, writes: int, shifts: int) -> SimReport:
+        """Price integer access/shift totals into one :class:`SimReport`.
+
+        Shared by the monolithic and streaming paths; building the
+        report once from accumulated *integer* counters (instead of
+        summing per-chunk float reports) is what keeps streamed reports
+        float-bit-identical to monolithic ones.
+        """
         p = self.params
-        dbc, slot = self._compile(trace)
-        result = self._backend.run(
-            ShiftRequest(
-                dbc=dbc,
-                slot=slot,
-                num_dbcs=self.config.dbcs,
-                domains=self.config.domains_per_track,
-                ports=self.config.ports_per_track,
-                policy=self.port_policy,
-                warm_start=self.warm_start,
-                init_offsets=self._offsets,
-                init_aligned=self._aligned,
-            )
-        )
-        self._offsets = result.final_offsets
-        self._aligned = result.final_aligned
-        self._per_dbc_shifts += np.asarray(result.per_dbc_shifts, dtype=np.int64)
-        writes = trace.num_writes
-        reads = len(trace) - writes
-        shifts = result.shifts
         runtime = (
             shifts * p.shift_latency_ns
             + reads * p.read_latency_ns
@@ -153,6 +144,91 @@ class RTMController:
             area_mm2=p.area_mm2,
             per_dbc_shifts=tuple(int(s) for s in self._per_dbc_shifts),
         )
+
+    def execute(self, trace: MemoryTrace) -> SimReport:
+        """Run one trace to completion and report counters and energy.
+
+        Streaming traces (anything exposing ``chunks()``) dispatch to
+        :meth:`execute_stream` — same counters, bounded memory.
+        """
+        if hasattr(trace, "chunks"):
+            return self.execute_stream(trace)
+        dbc, slot = self._compile(trace)
+        result = self._backend.run(
+            ShiftRequest(
+                dbc=dbc,
+                slot=slot,
+                num_dbcs=self.config.dbcs,
+                domains=self.config.domains_per_track,
+                ports=self.config.ports_per_track,
+                policy=self.port_policy,
+                warm_start=self.warm_start,
+                init_offsets=self._offsets,
+                init_aligned=self._aligned,
+            )
+        )
+        self._offsets = result.final_offsets
+        self._aligned = result.final_aligned
+        self._per_dbc_shifts += np.asarray(result.per_dbc_shifts, dtype=np.int64)
+        writes = trace.num_writes
+        reads = len(trace) - writes
+        return self._report(reads, writes, result.shifts)
+
+    def execute_stream(self, trace, chunk_hooks=()) -> SimReport:
+        """Run a streaming trace chunk by chunk in bounded memory.
+
+        ``trace`` is anything yielding
+        :class:`~repro.trace.streaming.TraceChunk`-shaped objects from
+        ``chunks()`` with a ``sequence`` carrying the variable universe
+        (e.g. :class:`~repro.trace.streaming.StreamingTrace`). A
+        :class:`~repro.engine.ShiftCursor` seeded with the controller's
+        carried shift state advances over the chunks, so chained
+        ``execute`` calls keep their semantics; by the cursor's
+        associativity contract the resulting report is bit-identical —
+        integer counters *and* derived floats — to :meth:`execute` over
+        the materialized trace, for any chunk size.
+
+        ``chunk_hooks`` are called as ``hook(chunk, dbc, slot)`` after
+        each chunk is compiled, letting callers ride along the single
+        pass (the matrix runner advances its analytic single-port
+        observer cursor this way instead of re-reading the trace).
+
+        Streamed variable universes contain accessed variables only
+        (the census keeps nothing else), so placement coverage is
+        checked once up front rather than per chunk.
+        """
+        from repro.engine.cursor import ShiftCursor
+
+        info = trace.sequence
+        var_dbc, var_slot = self._variable_luts(info.variables)
+        missing = np.flatnonzero(var_dbc < 0)
+        if missing.size:
+            name = info.variables[int(missing[0])]
+            raise SimulationError(f"variable {name!r} has no location")
+        cursor = ShiftCursor(
+            num_dbcs=self.config.dbcs,
+            domains=self.config.domains_per_track,
+            ports=self.config.ports_per_track,
+            policy=self.port_policy,
+            warm_start=self.warm_start,
+            backend=self._backend,
+            init_offsets=self._offsets,
+            init_aligned=self._aligned,
+        )
+        reads = writes = 0
+        for chunk in trace.chunks():
+            codes = chunk.codes
+            dbc, slot = var_dbc[codes], var_slot[codes]
+            cursor.replay_chunk(dbc, slot)
+            w = int(np.count_nonzero(chunk.writes))
+            writes += w
+            reads += int(codes.size) - w
+            for hook in chunk_hooks:
+                hook(chunk, dbc, slot)
+        self._offsets = cursor.offsets
+        self._aligned = cursor.aligned
+        self._per_dbc_shifts += cursor.per_dbc_shifts
+        return self._report(reads, writes, cursor.shifts)
 
     def reset(self) -> None:
         """Return all DBCs to the unaligned initial state."""

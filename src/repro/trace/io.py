@@ -30,14 +30,25 @@ location per word — see :class:`repro.rtm.geometry.RTMConfig`), capped
 to the hottest ``max_vars`` words (working-set capping) and filtered of
 words touched fewer than ``min_count`` times (cold filtering).
 
+Both formats are read gzip-transparently: a file starting with the gzip
+magic bytes is decompressed on the fly (gem5 traces ship compressed),
+whatever its extension. Address traces additionally *stream*:
+:func:`iter_address_trace` parses one line at a time and
+:func:`iter_address_chunks` batches the stream into bounded numpy
+arrays, so neither the text nor a Python list of every access is ever
+resident at once — the entry point the chunked ingestion layer
+(:mod:`repro.trace.streaming`) and :func:`load_traces` build on.
+
 All parse failures raise :class:`~repro.errors.TraceFormatError` with
 the offending line number.
 """
 
 from __future__ import annotations
 
+import gzip
 import os
-from collections.abc import Iterable, Sequence
+import zlib
+from collections.abc import Iterable, Iterator, Sequence
 
 import numpy as np
 
@@ -159,8 +170,30 @@ def render_traces(traces: Iterable[MemoryTrace], wrap: int = 16) -> str:
     return "\n".join(out)
 
 
+#: Magic bytes opening every gzip stream (RFC 1952).
+_GZIP_MAGIC = b"\x1f\x8b"
+
+
+def _is_gzipped(path: str | os.PathLike) -> bool:
+    """Whether ``path`` starts with the gzip magic (content, not name)."""
+    with open(path, "rb") as f:
+        return f.read(2) == _GZIP_MAGIC
+
+
+def open_text(path: str | os.PathLike):
+    """Open a trace file as UTF-8 text, decompressing gzip transparently.
+
+    Sniffs the gzip magic bytes rather than trusting the extension, so
+    ``trace.trc``, ``trace.trc.gz`` and a compressed file with a plain
+    name all work the same.
+    """
+    if _is_gzipped(path):
+        return gzip.open(path, "rt", encoding="utf-8")
+    return open(path, "r", encoding="utf-8")
+
+
 def _read_text(path: str | os.PathLike) -> str:
-    """Read a trace file as UTF-8 text.
+    """Read a (possibly gzipped) trace file as UTF-8 text.
 
     Binary files, directories and other unreadable paths become
     :class:`~repro.errors.TraceFormatError`s (the library's clean-exit
@@ -168,11 +201,11 @@ def _read_text(path: str | os.PathLike) -> str:
     which callers special-case for friendlier messages.
     """
     try:
-        with open(path, "r", encoding="utf-8") as f:
+        with open_text(path) as f:
             return f.read()
     except FileNotFoundError:
         raise
-    except UnicodeDecodeError as exc:
+    except (UnicodeDecodeError, gzip.BadGzipFile, EOFError, zlib.error) as exc:
         raise TraceFormatError(
             f"{os.fspath(path)}: not a text trace file ({exc})"
         ) from exc
@@ -207,6 +240,121 @@ def _parse_address(token: str) -> tuple[int, bool] | None:
         return None
 
 
+def _parse_address_line(raw: str, line_no: int) -> tuple[int, bool] | None:
+    """Parse one trace line as ``(address, is_write)``.
+
+    ``None`` for blank/comment-only lines; a line with no parseable
+    address raises :class:`~repro.errors.TraceFormatError` with its
+    line number.
+    """
+    line = raw.split("#", 1)[0].strip()
+    if not line:
+        return None
+    fields = [f for f in line.replace(",", " ").replace(":", " ").split() if f]
+    addr = None
+    addr_is_hex = False
+    is_write = False
+    for token in fields:
+        lowered = token.lower()
+        if lowered in _WRITE_TOKENS:
+            is_write = True
+            continue
+        if lowered in _READ_TOKENS:
+            continue
+        parsed = _parse_address(token)
+        if parsed is not None:
+            value, is_hex = parsed
+            # Hex fields are addresses; decimals (ticks, sizes) only
+            # count when the line has no hex field at all.
+            if is_hex or not addr_is_hex:
+                addr = value
+                addr_is_hex = addr_is_hex or is_hex
+    if addr is None:
+        raise TraceFormatError(
+            f"line {line_no}: no address field in {raw.strip()!r}"
+        )
+    if addr < 0:
+        raise TraceFormatError(
+            f"line {line_no}: address must be non-negative, got {addr}"
+        )
+    return addr, is_write
+
+
+def iter_address_trace(
+    source: str | os.PathLike | Iterable[str],
+) -> Iterator[tuple[int, bool]]:
+    """Stream ``(address, is_write)`` pairs from a raw address trace.
+
+    ``source`` is a file path — read gzip-transparently via
+    :func:`open_text` — or any iterable of lines (an open file, a
+    ``text.splitlines()`` list). One line is parsed at a time, so a
+    hundred-million-access trace never has its text (or a Python list
+    of accesses) resident at once. Parse failures carry the offending
+    line number, exactly like :func:`parse_address_trace`.
+    """
+    if isinstance(source, (str, os.PathLike)):
+        try:
+            with open_text(source) as f:
+                for line_no, raw in enumerate(f, start=1):
+                    parsed = _parse_address_line(raw, line_no)
+                    if parsed is not None:
+                        yield parsed
+        except FileNotFoundError:
+            raise
+        except (UnicodeDecodeError, gzip.BadGzipFile, EOFError, zlib.error) as exc:
+            raise TraceFormatError(
+                f"{os.fspath(source)}: not a text trace file ({exc})"
+            ) from exc
+        except OSError as exc:
+            raise TraceFormatError(f"{os.fspath(source)}: {exc}") from exc
+    else:
+        for line_no, raw in enumerate(source, start=1):
+            parsed = _parse_address_line(raw, line_no)
+            if parsed is not None:
+                yield parsed
+
+
+#: Batch size used when a full-trace collection streams through the
+#: chunked parser anyway (bounds transient Python-object overhead).
+_PARSE_CHUNK = 1 << 16
+
+
+def iter_address_chunks(
+    source: str | os.PathLike | Iterable[str], chunk: int
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Batch :func:`iter_address_trace` into bounded numpy array pairs.
+
+    Yields ``(addresses, writes)`` — int64 and bool arrays of length
+    ``chunk`` (the last one possibly shorter). Each yielded pair is
+    freshly allocated, so consumers may keep references across steps.
+    """
+    if chunk < 1:
+        raise TraceError(f"chunk must be >= 1, got {chunk}")
+    addrs: list[int] = []
+    mask: list[bool] = []
+    for addr, is_write in iter_address_trace(source):
+        addrs.append(addr)
+        mask.append(is_write)
+        if len(addrs) == chunk:
+            yield np.asarray(addrs, dtype=np.int64), np.asarray(mask, dtype=bool)
+            addrs, mask = [], []
+    if addrs:
+        yield np.asarray(addrs, dtype=np.int64), np.asarray(mask, dtype=bool)
+
+
+def _collect_address_stream(
+    source: str | os.PathLike | Iterable[str],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Materialize a streamed address trace into full arrays."""
+    chunks = list(iter_address_chunks(source, _PARSE_CHUNK))
+    if not chunks:
+        raise TraceFormatError("address trace contains no accesses")
+    if len(chunks) == 1:
+        return chunks[0]
+    return (np.concatenate([a for a, _ in chunks]),
+            np.concatenate([w for _, w in chunks]))
+
+
 def parse_address_trace(text: str) -> tuple[np.ndarray, np.ndarray]:
     """Parse a raw address trace into ``(addresses, writes)`` arrays.
 
@@ -215,45 +363,35 @@ def parse_address_trace(text: str) -> tuple[np.ndarray, np.ndarray]:
     no parseable address raises :class:`~repro.errors.TraceFormatError`
     with its line number.
     """
-    addresses: list[int] = []
-    writes: list[bool] = []
-    for line_no, raw in enumerate(text.splitlines(), start=1):
-        line = raw.split("#", 1)[0].strip()
-        if not line:
-            continue
-        fields = [f for f in line.replace(",", " ").replace(":", " ").split() if f]
-        addr = None
-        addr_is_hex = False
-        is_write = False
-        for token in fields:
-            lowered = token.lower()
-            if lowered in _WRITE_TOKENS:
-                is_write = True
-                continue
-            if lowered in _READ_TOKENS:
-                continue
-            parsed = _parse_address(token)
-            if parsed is not None:
-                value, is_hex = parsed
-                # Hex fields are addresses; decimals (ticks, sizes) only
-                # count when the line has no hex field at all.
-                if is_hex or not addr_is_hex:
-                    addr = value
-                    addr_is_hex = addr_is_hex or is_hex
-        if addr is None:
-            raise TraceFormatError(
-                f"line {line_no}: no address field in {raw.strip()!r}"
-            )
-        if addr < 0:
-            raise TraceFormatError(
-                f"line {line_no}: address must be non-negative, got {addr}"
-            )
-        addresses.append(addr)
-        writes.append(is_write)
-    if not addresses:
-        raise TraceFormatError("address trace contains no accesses")
-    return (np.asarray(addresses, dtype=np.int64),
-            np.asarray(writes, dtype=bool))
+    return _collect_address_stream(text.splitlines())
+
+
+def _select_words(
+    uniq: np.ndarray,
+    counts: np.ndarray,
+    *,
+    min_count: int,
+    max_vars: int | None,
+) -> np.ndarray:
+    """Hot-word selection shared by monolithic and streamed ingestion.
+
+    ``uniq`` must be the ascending unique word ids with ``counts``
+    aligned (exactly ``np.unique(..., return_counts=True)``'s shape —
+    the streamed census reproduces the same pair from its hash-map
+    tallies). Returns the kept word ids, ascending: words below
+    ``min_count`` dropped, then — if over ``max_vars`` — only the
+    hottest kept, ties broken by lower address. Keeping this in one
+    place is what makes the chunked two-pass ingestion's variable
+    selection bit-identical to the monolithic path.
+    """
+    keep = uniq[counts >= min_count]
+    if max_vars is not None and keep.size > max_vars:
+        kept_counts = counts[counts >= min_count]
+        # Hottest first; np.argsort is stable, so equal counts keep
+        # ascending-address order after the descending-count sort.
+        order = np.argsort(-kept_counts, kind="stable")[:max_vars]
+        keep = keep[np.sort(order)]
+    return keep
 
 
 def addresses_to_trace(
@@ -312,13 +450,7 @@ def addresses_to_trace(
         mask = mask[:limit] if mask is not None else None
     words = addrs // word_bytes
     uniq, counts = np.unique(words, return_counts=True)
-    keep = uniq[counts >= min_count]
-    if max_vars is not None and keep.size > max_vars:
-        kept_counts = counts[counts >= min_count]
-        # Hottest first; np.argsort is stable, so equal counts keep
-        # ascending-address order after the descending-count sort.
-        order = np.argsort(-kept_counts, kind="stable")[:max_vars]
-        keep = keep[np.sort(order)]
+    keep = _select_words(uniq, counts, min_count=min_count, max_vars=max_vars)
     if keep.size == 0:
         raise TraceError(
             f"no word survives min_count={min_count} over "
@@ -334,17 +466,26 @@ def addresses_to_trace(
     return MemoryTrace.from_accesses(accesses, writes=mask, name=name)
 
 
+def trace_name_for(path: str | os.PathLike) -> str:
+    """Default trace name for a file: its stem, minus a ``.gz`` suffix."""
+    base = os.path.basename(os.fspath(path))
+    if base.lower().endswith(".gz"):
+        base = base[:-3]
+    return os.path.splitext(base)[0] or base
+
+
 def read_address_trace(
     path: str | os.PathLike, name: str | None = None, **kwargs
 ) -> MemoryTrace:
     """Read a raw address-trace file and map it to a placement trace.
 
-    Keyword arguments are forwarded to :func:`addresses_to_trace`; the
-    trace name defaults to the file's stem.
+    The file is parsed line-by-line (gzip-transparently); keyword
+    arguments are forwarded to :func:`addresses_to_trace` and the trace
+    name defaults to the file's stem.
     """
-    addrs, writes = parse_address_trace(_read_text(path))
+    addrs, writes = _collect_address_stream(path)
     if name is None:
-        name = os.path.splitext(os.path.basename(os.fspath(path)))[0]
+        name = trace_name_for(path)
     return addresses_to_trace(addrs, writes, name=name, **kwargs)
 
 
@@ -362,33 +503,55 @@ def detect_trace_format(text: str) -> str:
     return "trace"
 
 
+def sniff_trace_format(path: str | os.PathLike) -> str:
+    """:func:`detect_trace_format` for a file, reading only up to the
+    first meaningful line — the whole file is never resident, so address
+    traces of any length sniff in O(1) memory."""
+    try:
+        with open_text(path) as f:
+            for raw in f:
+                line = raw.split("#", 1)[0].strip()
+                if not line:
+                    continue
+                return (
+                    "trace" if line.split()[0].lower() == "trace" else "addr"
+                )
+    except FileNotFoundError:
+        raise
+    except (UnicodeDecodeError, gzip.BadGzipFile, EOFError, zlib.error) as exc:
+        raise TraceFormatError(
+            f"{os.fspath(path)}: not a text trace file ({exc})"
+        ) from exc
+    except OSError as exc:
+        raise TraceFormatError(f"{os.fspath(path)}: {exc}") from exc
+    return "trace"
+
+
 def load_traces(
     path: str | os.PathLike, format: str = "auto", **kwargs
 ) -> list[MemoryTrace]:
     """Read traces from ``path`` in either supported format.
 
     ``format`` is ``'trace'`` (native), ``'addr'`` (raw addresses) or
-    ``'auto'`` (sniffed via :func:`detect_trace_format`). Keyword
-    arguments apply to address ingestion only and are rejected for
-    native files.
+    ``'auto'`` (sniffed via :func:`sniff_trace_format`, which reads at
+    most one meaningful line). Native files are read whole; address
+    files stream through :func:`iter_address_trace`. Keyword arguments
+    apply to address ingestion only and are rejected for native files.
     """
     if format not in ("auto", "trace", "addr"):
         raise TraceFormatError(
             f"unknown trace format {format!r}; choose auto, trace or addr"
         )
-    text = _read_text(path)
     if format == "auto":
-        format = detect_trace_format(text)
+        format = sniff_trace_format(path)
     if format == "trace":
         if kwargs:
             raise TraceError(
                 f"native trace files take no ingestion options, "
                 f"got {sorted(kwargs)}"
             )
-        return parse_traces(text)
-    addrs, writes = parse_address_trace(text)
-    name = os.path.splitext(os.path.basename(os.fspath(path)))[0]
-    return [addresses_to_trace(addrs, writes, name=name, **kwargs)]
+        return parse_traces(_read_text(path))
+    return [read_address_trace(path, **kwargs)]
 
 
 def _chunks(items: list[str], size: int) -> Iterable[list[str]]:

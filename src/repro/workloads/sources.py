@@ -18,8 +18,11 @@ families and one ingestion source ship built in:
   generators (``uniform``, ``zipf``, ``markov``, ``phased``, ``looped``,
   ``sliding``), with ``seqs=K`` independent sequences per program;
 * ``file:<path>[,format=auto|trace|addr,word=..,max_vars=..,
-  min_count=..,limit=..]`` — external traces, native format or raw
-  address traces ingested through :mod:`repro.trace.io`.
+  min_count=..,limit=..,stream=0|1,chunk=..,window=..]`` — external
+  traces, native format or raw address traces ingested through
+  :mod:`repro.trace.io`; ``stream=1`` replays address traces in
+  bounded-memory chunks (:mod:`repro.trace.streaming`) without
+  changing any result or store key.
 
 Custom sources register through :func:`register_source`.
 """
@@ -270,20 +273,61 @@ def _resolve_synthetic(spec, ctx, rng) -> BenchmarkProgram:
 # -- file ----------------------------------------------------------------------
 
 
+#: Default ``TraceChunk`` size for ``stream=1`` file workloads: ~9 MiB
+#: resident per chunk, large enough that chunking overhead is noise.
+DEFAULT_STREAM_CHUNK = 1 << 20
+
+#: ``file:`` params that select *residency*, not workload identity.
+#: Streaming is bit-identical to in-memory replay, so these are
+#: stripped from the resolved program's name — and therefore from the
+#: matrix runner's content-addressed cell keys — letting streamed and
+#: materialized runs share store cells. ``window`` is *not* here: a
+#: bounded placement window changes placements, hence results.
+_RESIDENCY_PARAMS = frozenset({"stream", "chunk"})
+
+
+def _file_identity(spec: WorkloadSpec) -> str:
+    """The canonical spec minus residency params (the program name)."""
+    stripped = WorkloadSpec(
+        source=spec.source,
+        payload=spec.payload,
+        params=tuple(
+            (k, v) for k, v in spec.params if k not in _RESIDENCY_PARAMS
+        ),
+        transforms=spec.transforms,
+    )
+    return stripped.canonical
+
+
 def _resolve_file(spec, ctx, rng) -> BenchmarkProgram:
     context = f"source 'file' ({spec.payload})"
     params = _params(
         spec, context,
         format=lambda v, c: v, word=as_int, max_vars=as_int,
         min_count=as_int, limit=as_int,
+        stream=as_int, chunk=as_int, window=as_int,
     )
     format = params.pop("format", "auto")
+    stream = params.pop("stream", 0)
+    chunk = params.pop("chunk", None)
+    window = params.pop("window", None)
+    if stream not in (0, 1):
+        raise WorkloadError(f"{context}: stream must be 0 or 1, got {stream}")
+    if not stream and (chunk is not None or window is not None):
+        raise WorkloadError(
+            f"{context}: chunk/window only apply with stream=1"
+        )
     kwargs = {}
     if "word" in params:
         kwargs["word_bytes"] = params["word"]
     for key in ("max_vars", "min_count", "limit"):
         if key in params:
             kwargs[key] = params[key]
+    if stream:
+        return _resolve_file_streaming(
+            spec, context, format=format, chunk=chunk, window=window,
+            **kwargs,
+        )
     try:
         traces = load_traces(spec.payload, format=format, **kwargs)
     except FileNotFoundError:
@@ -298,6 +342,58 @@ def _resolve_file(spec, ctx, rng) -> BenchmarkProgram:
         )
     return BenchmarkProgram(
         name=spec.canonical, domain="file", traces=tuple(traces)
+    )
+
+
+def _resolve_file_streaming(
+    spec, context, *, format, chunk, window, **kwargs
+) -> BenchmarkProgram:
+    """The ``stream=1`` path: one bounded-memory streaming trace.
+
+    Only raw address traces stream (the native block format needs the
+    whole file anyway), and scenario transforms are rejected — they are
+    whole-sequence rewrites, incompatible with never materializing the
+    sequence. The program is named by the spec minus ``stream``/
+    ``chunk`` (see :data:`_RESIDENCY_PARAMS`), so store cells are
+    shared with the in-memory resolution of the same file.
+    """
+    from repro.trace.io import sniff_trace_format
+    from repro.trace.streaming import stream_address_trace
+
+    if spec.transforms:
+        names = "@".join(t.name for t in spec.transforms)
+        raise WorkloadError(
+            f"{context}: scenario transforms ({names}) cannot apply to a "
+            f"streaming workload — they rewrite the whole sequence; drop "
+            f"the transforms or use stream=0"
+        )
+    if format not in ("auto", "addr"):
+        raise WorkloadError(
+            f"{context}: only raw address traces can stream, "
+            f"got format={format!r}"
+        )
+    try:
+        if sniff_trace_format(spec.payload) != "addr":
+            raise WorkloadError(
+                f"{context}: {spec.payload!r} is a native trace file; "
+                f"streaming (stream=1) supports raw address traces only"
+            )
+        trace = stream_address_trace(
+            spec.payload,
+            chunk=chunk if chunk is not None else DEFAULT_STREAM_CHUNK,
+            window=window,
+            **kwargs,
+        )
+    except FileNotFoundError:
+        raise WorkloadError(
+            f"{context}: trace file {spec.payload!r} does not exist"
+        ) from None
+    except WorkloadError:
+        raise
+    except ReproError as exc:
+        raise WorkloadError(f"{context}: {exc}") from exc
+    return BenchmarkProgram(
+        name=_file_identity(spec), domain="file", traces=(trace,)
     )
 
 
@@ -322,5 +418,6 @@ register_source(
 register_source(
     "file", _resolve_file,
     "external trace file, native or raw-address format (payload: path; "
-    "format/word/max_vars/min_count/limit)",
+    "format/word/max_vars/min_count/limit; stream=1 with chunk/window "
+    "for bounded-memory chunked replay)",
 )

@@ -34,5 +34,6 @@ def test_expected_examples_present():
         "program_layout",
         "tensor_scratchpad",
         "external_trace_ingestion",
+        "streaming_replay",
     }
     assert required <= names, required - names

@@ -6,6 +6,8 @@ import pytest
 from repro.errors import TraceError, TraceFormatError
 from repro.trace.io import (
     addresses_to_trace,
+    iter_address_chunks,
+    iter_address_trace,
     detect_trace_format,
     load_traces,
     parse_address_trace,
@@ -237,3 +239,93 @@ class TestLoadTraces:
     def test_unknown_format_rejected(self, tmp_path):
         with pytest.raises(TraceFormatError, match="unknown trace format"):
             load_traces(tmp_path / "x", format="bogus")
+
+
+class TestGzipTransparency:
+    """Any text trace may arrive gzip-compressed; sniffed by magic bytes."""
+
+    def _gz(self, path, text):
+        import gzip
+
+        with gzip.open(path, "wt", encoding="utf-8") as fh:
+            fh.write(text)
+        return path
+
+    def test_gzipped_address_trace_loads_identically(self, tmp_path):
+        text = "0x1000\n0x1008\n0x1000\n"
+        plain = tmp_path / "a.trc"
+        plain.write_text(text)
+        gzed = self._gz(tmp_path / "a2.trc.gz", text)
+        (a,) = load_traces(plain)
+        (b,) = load_traces(gzed)
+        assert np.array_equal(a.sequence.codes, b.sequence.codes)
+        assert np.array_equal(a.writes, b.writes)
+
+    def test_gzipped_native_trace_loads(self, tmp_path, fig3_trace):
+        native = tmp_path / "n.trc"
+        write_traces(native, [fig3_trace])
+        gzed = self._gz(tmp_path / "n.trc.gz", native.read_text())
+        assert load_traces(gzed) == [fig3_trace]
+
+    def test_magic_bytes_beat_the_extension(self, tmp_path):
+        # Gzipped content under a plain name still decompresses.
+        misnamed = self._gz(tmp_path / "plain.trc", "0x10\n0x18\n")
+        (t,) = load_traces(misnamed)
+        assert len(t) == 2
+
+    def test_gz_stem_strips_both_suffixes(self, tmp_path):
+        gzed = self._gz(tmp_path / "app.trc.gz", "0x10\n")
+        (t,) = load_traces(gzed)
+        assert t.name == "app"
+
+    def test_truncated_gzip_is_a_format_error(self, tmp_path):
+        path = tmp_path / "bad.trc.gz"
+        path.write_bytes(b"\x1f\x8b\x08\x00garbage")
+        with pytest.raises(TraceFormatError):
+            load_traces(path)
+
+    def test_binary_junk_is_a_format_error(self, tmp_path):
+        path = tmp_path / "junk.trc"
+        path.write_bytes(bytes(range(256)) * 4)
+        with pytest.raises(TraceFormatError, match="not a text trace"):
+            load_traces(path)
+
+
+class TestAddressStreaming:
+    """Line-level iteration: the bounded-memory face of the parser."""
+
+    def test_iter_matches_parse(self, tmp_path):
+        text = "0x10\nw,0x18\n# comment\n0x10\n"
+        path = tmp_path / "s.trc"
+        path.write_text(text)
+        pairs = list(iter_address_trace(path))
+        addrs, writes = parse_address_trace(text)
+        assert [a for a, _ in pairs] == list(addrs)
+        assert [w for _, w in pairs] == list(writes)
+
+    def test_iter_accepts_line_iterables(self):
+        pairs = list(iter_address_trace(["0x10", "0x18"]))
+        assert [a for a, _ in pairs] == [0x10, 0x18]
+
+    def test_iter_reports_line_numbers_in_errors(self, tmp_path):
+        path = tmp_path / "bad.trc"
+        path.write_text("0x10\nnonsense here\n")
+        with pytest.raises(TraceFormatError, match="line 2"):
+            list(iter_address_trace(path))
+
+    def test_chunked_iteration_is_bounded_and_complete(self, tmp_path):
+        path = tmp_path / "c.trc"
+        path.write_text("".join(f"0x{8 * i:x}\n" for i in range(10)))
+        chunks = list(iter_address_chunks(path, 4))
+        assert [len(a) for a, _ in chunks] == [4, 4, 2]
+        assert np.concatenate([a for a, _ in chunks]).tolist() == [
+            8 * i for i in range(10)
+        ]
+
+    def test_chunk_must_be_positive(self, tmp_path):
+        with pytest.raises(TraceError, match="chunk"):
+            list(iter_address_chunks(["0x10"], 0))
+
+    def test_missing_file_raises_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            list(iter_address_trace(tmp_path / "nope.trc"))
