@@ -1,0 +1,262 @@
+#!/usr/bin/env python
+"""Benchmark the JIT-compiled (numba) backend against reference and numpy.
+
+Per port count, times warm- and cold-start replay on identical randomized
+traces through every backend, plus one K=200 population-scoring row
+(`evaluate_batch` flattened-sort numpy path vs the compiled population
+kernel). JIT warmup (LLVM compilation on first call) is measured once and
+reported separately — steady-state rows never include it.
+
+Gates, applied only when the ``compiled`` extra is installed:
+
+* every numba row is bit-identical to the reference backend
+  (full ``ShiftResult`` equality: counters *and* final state);
+* at least one replay row reaches ``--min-speedup`` (default 1.2x) over
+  the numpy backend, steady-state;
+* no gated row (replay or population) falls below ``--min-ratio``
+  (default 0.8x) of numpy.
+
+With numba absent the script still writes the JSON — availability
+flagged, reference/numpy columns populated — and exits 0, so the
+committed ``BENCH_compiled.json`` seed stays refreshable on any machine
+while CI's optional-backend leg regenerates and gates the full version.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_compiled_backend.py
+    PYTHONPATH=src python benchmarks/bench_compiled_backend.py \
+        --accesses 500000 --ports 1 2 4 8 --out BENCH_compiled.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.engine import ShiftRequest, evaluate_batch, get_backend
+from repro.engine.numba_backend import (
+    NUMBA_AVAILABLE,
+    NUMBA_VERSION,
+    NumbaBackend,
+    warmup,
+)
+
+
+def make_request(accesses: int, num_dbcs: int, domains: int, ports: int,
+                 warm_start: bool, seed: int) -> ShiftRequest:
+    rng = np.random.default_rng(seed)
+    return ShiftRequest(
+        dbc=rng.integers(0, num_dbcs, accesses),
+        slot=rng.integers(0, domains, accesses),
+        num_dbcs=num_dbcs,
+        domains=domains,
+        ports=ports,
+        warm_start=warm_start,
+    )
+
+
+def time_call(fn, repeats: int) -> float:
+    """Best-of-``repeats`` wall seconds."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def make_population(k: int, num_vars: int, num_dbcs: int, accesses: int,
+                    seed: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Random valid placements (round-robin over a permutation) + trace."""
+    rng = np.random.default_rng(seed)
+    codes = rng.integers(0, num_vars, accesses)
+    dbc_of = np.empty((k, num_vars), dtype=np.int64)
+    pos_of = np.empty((k, num_vars), dtype=np.int64)
+    lanes = np.arange(num_vars, dtype=np.int64)
+    for r in range(k):
+        perm = rng.permutation(num_vars)
+        dbc_of[r, perm] = lanes % num_dbcs
+        pos_of[r, perm] = lanes // num_dbcs
+    return codes, dbc_of, pos_of
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--accesses", type=int, default=200_000)
+    parser.add_argument("--dbcs", type=int, default=8)
+    parser.add_argument("--domains", type=int, default=128)
+    parser.add_argument("--ports", type=int, nargs="+", default=[1, 2, 4, 8])
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--pop-k", type=int, default=200,
+                        help="population row: candidate count")
+    parser.add_argument("--pop-vars", type=int, default=64)
+    parser.add_argument("--pop-accesses", type=int, default=5_000)
+    parser.add_argument("--pop-ports", type=int, default=2)
+    parser.add_argument("--min-speedup", type=float, default=1.2,
+                        help="required numba/numpy ratio on >= 1 replay row "
+                             "(0 disables the gates)")
+    parser.add_argument("--min-ratio", type=float, default=0.8,
+                        help="no gated row may fall below this numba/numpy "
+                             "ratio")
+    parser.add_argument("--out", default="BENCH_compiled.json")
+    args = parser.parse_args(argv)
+
+    reference = get_backend("reference")
+    vectorized = get_backend("numpy")
+    compiled = NumbaBackend() if NUMBA_AVAILABLE else None
+    jit_warmup_s = warmup() if NUMBA_AVAILABLE else None
+    if NUMBA_AVAILABLE:
+        print(f"numba {NUMBA_VERSION}: JIT warmup {jit_warmup_s:.2f}s "
+              f"(excluded from steady-state rows)")
+    else:
+        print("numba not installed (pip install repro-rtm-placement"
+              "[compiled]); recording reference/numpy rows only")
+
+    replay_rows = []
+    identical = True
+    for ports in args.ports:
+        for warm_start in (True, False):
+            request = make_request(args.accesses, args.dbcs, args.domains,
+                                   ports, warm_start, args.seed)
+            expected = reference.run(request)
+            assert vectorized.run(request) == expected
+            t_ref = time_call(lambda: reference.run(request), 1)
+            t_np = time_call(lambda: vectorized.run(request), args.repeats)
+            row = {
+                "ports": ports,
+                "warm_start": warm_start,
+                "accesses": args.accesses,
+                "reference_s": t_ref,
+                "numpy_s": t_np,
+                "numpy_accesses_per_s": args.accesses / t_np,
+            }
+            if compiled is not None:
+                row["identical"] = compiled.run(request) == expected
+                identical = identical and row["identical"]
+                t_nb = time_call(lambda: compiled.run(request), args.repeats)
+                row["numba_s"] = t_nb
+                row["numba_accesses_per_s"] = args.accesses / t_nb
+                row["numba_vs_numpy"] = t_np / t_nb
+                row["numba_vs_reference"] = t_ref / t_nb
+                print(f"ports={ports} {'warm' if warm_start else 'cold'}: "
+                      f"numpy {row['numpy_accesses_per_s']:,.0f} acc/s, "
+                      f"numba {row['numba_accesses_per_s']:,.0f} acc/s "
+                      f"({row['numba_vs_numpy']:.2f}x numpy, "
+                      f"identical={row['identical']})")
+            else:
+                print(f"ports={ports} {'warm' if warm_start else 'cold'}: "
+                      f"numpy {row['numpy_accesses_per_s']:,.0f} acc/s")
+            replay_rows.append(row)
+
+    codes, dbc_of, pos_of = make_population(
+        args.pop_k, args.pop_vars, args.dbcs, args.pop_accesses, args.seed
+    )
+    pop_kwargs = dict(num_dbcs=args.dbcs, domains=args.domains,
+                      ports=args.pop_ports)
+    totals_np = evaluate_batch(codes, dbc_of, pos_of, backend="numpy",
+                               **pop_kwargs)
+    t_np = time_call(
+        lambda: evaluate_batch(codes, dbc_of, pos_of, backend="numpy",
+                               **pop_kwargs),
+        args.repeats,
+    )
+    population = {
+        "k": args.pop_k,
+        "vars": args.pop_vars,
+        "accesses": args.pop_accesses,
+        "ports": args.pop_ports,
+        "numpy_s": t_np,
+    }
+    if compiled is not None:
+        totals_nb = evaluate_batch(codes, dbc_of, pos_of, backend=compiled,
+                                   **pop_kwargs)
+        # Truth-check a sample of rows against the oracle, then the
+        # whole population against the (reference-verified) numpy path.
+        sample_ok = all(
+            reference.run(ShiftRequest(
+                dbc=dbc_of[r][codes], slot=pos_of[r][codes],
+                num_dbcs=args.dbcs, domains=args.domains,
+                ports=args.pop_ports,
+            )).shifts == int(totals_nb[r])
+            for r in range(0, args.pop_k, max(1, args.pop_k // 5))
+        )
+        population["identical"] = (
+            bool(np.array_equal(totals_np, totals_nb)) and sample_ok
+        )
+        identical = identical and population["identical"]
+        t_nb = time_call(
+            lambda: evaluate_batch(codes, dbc_of, pos_of, backend=compiled,
+                                   **pop_kwargs),
+            args.repeats,
+        )
+        population["numba_s"] = t_nb
+        population["numba_vs_numpy"] = t_np / t_nb
+        print(f"population K={args.pop_k}: numpy {t_np * 1e3:.1f}ms, "
+              f"numba {t_nb * 1e3:.1f}ms "
+              f"({population['numba_vs_numpy']:.2f}x numpy, "
+              f"identical={population['identical']})")
+    else:
+        print(f"population K={args.pop_k}: numpy {t_np * 1e3:.1f}ms")
+
+    best_replay = max(
+        (row["numba_vs_numpy"] for row in replay_rows if "numba_vs_numpy"
+         in row),
+        default=None,
+    )
+    gated_ratios = [
+        row["numba_vs_numpy"] for row in replay_rows if "numba_vs_numpy" in row
+    ] + ([population["numba_vs_numpy"]] if "numba_vs_numpy" in population
+         else [])
+    payload = {
+        "benchmark": "compiled_backend",
+        "numba_available": NUMBA_AVAILABLE,
+        "numba_version": NUMBA_VERSION,
+        "jit_warmup_s": jit_warmup_s,
+        "accesses": args.accesses,
+        "dbcs": args.dbcs,
+        "domains": args.domains,
+        "repeats": args.repeats,
+        "replay": replay_rows,
+        "population": population,
+        "gates": {
+            "min_speedup": args.min_speedup,
+            "min_ratio": args.min_ratio,
+            "best_replay_vs_numpy": best_replay,
+            "worst_gated_vs_numpy": min(gated_ratios, default=None),
+            "identical": identical if NUMBA_AVAILABLE else None,
+        },
+    }
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {out}")
+
+    if not NUMBA_AVAILABLE or not args.min_speedup:
+        return 0
+    failures = []
+    if not identical:
+        failures.append("numba results diverge from the reference backend")
+    if best_replay is None or best_replay < args.min_speedup:
+        failures.append(
+            f"best replay row {best_replay:.2f}x numpy "
+            f"< required {args.min_speedup}x"
+        )
+    worst = min(gated_ratios, default=0.0)
+    if worst < args.min_ratio:
+        failures.append(
+            f"a gated row fell to {worst:.2f}x numpy "
+            f"< floor {args.min_ratio}x"
+        )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,7 +36,10 @@ class ShiftCursor:
     the access arrays, which arrive chunk by chunk. ``init_offsets`` /
     ``init_aligned`` seed the cursor mid-state (e.g. from a controller
     that already executed earlier traces); by default every DBC starts
-    at offset 0, unaligned.
+    at offset 0, unaligned. ``backend`` accepts anything
+    :func:`repro.engine.get_backend` does — including ``"auto"`` and
+    the optional compiled backend, whose carry-in support makes chunked
+    replay chunk-size-invariant exactly like the core backends.
     """
 
     def __init__(

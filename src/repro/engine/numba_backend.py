@@ -1,0 +1,250 @@
+"""JIT-compiled (numba) backend: fused per-DBC replay loops.
+
+The numpy backend removed the per-access Python interpreter from replay
+but still pays array-op dispatch on every block of its monoid scan; this
+backend removes the dispatch too. One ``@njit``-compiled loop walks the
+accesses in trace order carrying the per-DBC state exactly as the
+reference backend does — nearest-port selection is an unrolled ``p``-way
+scalar comparison, not a map composition — so replay is a single fused
+pass with no intermediate arrays at all. A second compiled kernel scores
+whole candidate populations for :func:`repro.engine.batch.evaluate_batch`
+(the alternative to ``_batch_nearest``'s flattened sort + 2-D scan).
+
+Everything is integer arithmetic on int64, so results are bit-identical
+to the reference backend by construction; the cross-backend differential
+oracle (``tests/engine/test_backend_oracle.py``) enforces it.
+
+Availability is gated at import time: numba ships through the optional
+``compiled`` extra (``pip install repro-rtm-placement[compiled]``) and
+the backend registers into the engine's registry only when the import
+succeeds. The kernels themselves are *nopython-compatible plain Python*
+— when numba is absent the ``njit`` decorator below degrades to the
+identity, so the exact code the JIT compiles can still be executed (and
+oracle-tested) interpreted via ``NumbaBackend(require_compiled=False)``.
+That keeps the compiled semantics pinned on every machine, installed
+extra or not.
+
+Carry-in (``init_offsets``/``init_aligned``) flows straight through the
+loop state, so :class:`~repro.engine.cursor.ShiftCursor` chunked replay
+works unchanged and is chunk-size-invariant exactly as with the other
+backends. JIT compilation happens on the first call per argument-type
+signature (``warmup()`` forces it eagerly; the compiled benchmark
+reports warmup separately from steady-state throughput).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.engine.numpy_backend import positions_array
+from repro.engine.semantics import PortPolicy
+from repro.engine.types import ShiftRequest, ShiftResult
+from repro.errors import SimulationError
+
+try:  # pragma: no cover - exercised only with the extra installed
+    from numba import njit as _njit
+
+    NUMBA_AVAILABLE = True
+    NUMBA_VERSION: str | None = __import__("numba").__version__
+except Exception:  # ImportError, or a broken llvmlite pairing
+    NUMBA_AVAILABLE = False
+    NUMBA_VERSION = None
+
+    def _njit(*args, **kwargs):
+        """Identity decorator: run the kernels as plain Python."""
+        if args and callable(args[0]) and not kwargs:
+            return args[0]
+
+        def decorate(fn):
+            return fn
+
+        return decorate
+
+
+#: Install hint threaded into every "numba is not installed" error.
+INSTALL_HINT = "pip install repro-rtm-placement[compiled]"
+
+
+@_njit(cache=True, nogil=True)
+def _replay_kernel(dbc, slot, positions, offsets, aligned, per_dbc,
+                   warm_start):
+    """Fused replay: advance every access in trace order, in place.
+
+    ``offsets``/``aligned`` enter as the carry-in state and leave as the
+    final state; ``per_dbc`` accumulates charged shifts. The nearest-port
+    choice is the same strict-< scan as :func:`semantics.select_port`
+    (ties to the lowest port index); STATIC callers pass a single-entry
+    ``positions`` slice, which degenerates to the port-0 choice.
+    """
+    n = dbc.shape[0]
+    p = positions.shape[0]
+    for i in range(n):
+        d = dbc[i]
+        s = slot[i]
+        off = offsets[d]
+        best = s - positions[0] - off
+        best_abs = abs(best)
+        for j in range(1, p):
+            delta = s - positions[j] - off
+            a = abs(delta)
+            if a < best_abs:
+                best = delta
+                best_abs = a
+        offsets[d] = off + best
+        if aligned[d] or not warm_start:
+            per_dbc[d] += best_abs
+        aligned[d] = True
+
+
+@_njit(cache=True, nogil=True)
+def _population_kernel(dbc, slot, positions, num_dbcs, warm_start):
+    """Per-candidate totals for a gathered ``(K, N)`` population.
+
+    Each row replays the whole trace from the default cold initial
+    state (offset 0, unaligned) — the contract of
+    :func:`repro.engine.batch.evaluate_batch`. The per-row scratch state
+    is reused across rows, so the kernel allocates O(num_dbcs) once.
+    """
+    k = dbc.shape[0]
+    n = dbc.shape[1]
+    p = positions.shape[0]
+    totals = np.zeros(k, dtype=np.int64)
+    offsets = np.empty(num_dbcs, dtype=np.int64)
+    aligned = np.empty(num_dbcs, dtype=np.bool_)
+    for r in range(k):
+        for d in range(num_dbcs):
+            offsets[d] = 0
+            aligned[d] = False
+        total = 0
+        for i in range(n):
+            d = dbc[r, i]
+            s = slot[r, i]
+            off = offsets[d]
+            best = s - positions[0] - off
+            best_abs = abs(best)
+            for j in range(1, p):
+                delta = s - positions[j] - off
+                a = abs(delta)
+                if a < best_abs:
+                    best = delta
+                    best_abs = a
+            offsets[d] = off + best
+            if aligned[d] or not warm_start:
+                total += best_abs
+            aligned[d] = True
+        totals[r] = total
+    return totals
+
+
+class NumbaBackend:
+    """Executes requests through ``@njit``-compiled fused loops.
+
+    Constructing the backend requires numba by default (with the
+    pointed install hint when it is absent); tests pass
+    ``require_compiled=False`` to run the identical kernel code
+    interpreted, which pins the compiled semantics without the extra.
+    """
+
+    name = "numba"
+
+    def __init__(self, *, require_compiled: bool = True) -> None:
+        if require_compiled and not NUMBA_AVAILABLE:
+            raise SimulationError(
+                f"the {self.name!r} engine backend needs the optional "
+                f"'compiled' extra; install it with: {INSTALL_HINT}"
+            )
+
+    def run(self, request: ShiftRequest) -> ShiftResult:
+        init_offsets, init_aligned = request.resolved_init()
+        n = request.accesses
+        if n == 0:
+            return ShiftResult(
+                accesses=0,
+                shifts=0,
+                per_dbc_shifts=(0,) * request.num_dbcs,
+                final_offsets=init_offsets.copy(),
+                final_aligned=init_aligned.copy(),
+            )
+        slot = request.slot
+        lo, hi = int(slot.min()), int(slot.max())
+        if lo < 0 or hi >= request.domains:
+            bad = lo if lo < 0 else hi
+            raise SimulationError(
+                f"location {bad} outside track of {request.domains} domains"
+            )
+        positions = positions_array(request.domains, request.ports)
+        if request.policy is PortPolicy.STATIC:
+            positions = positions[:1]  # port 0 always; stays contiguous
+        offsets = init_offsets.copy()
+        aligned = init_aligned.copy()
+        per_dbc = np.zeros(request.num_dbcs, dtype=np.int64)
+        _replay_kernel(
+            request.dbc, slot, positions, offsets, aligned, per_dbc,
+            request.warm_start,
+        )
+        return ShiftResult(
+            accesses=n,
+            shifts=int(per_dbc.sum()),
+            per_dbc_shifts=tuple(int(c) for c in per_dbc),
+            final_offsets=offsets,
+            final_aligned=aligned,
+        )
+
+    # -- population hook -----------------------------------------------------
+
+    def population_nearest(
+        self,
+        dbc: np.ndarray,
+        slot: np.ndarray,
+        *,
+        num_dbcs: int,
+        domains: int,
+        ports: int,
+        warm_start: bool,
+    ) -> np.ndarray:
+        """Compiled scorer behind :func:`evaluate_batch`'s nearest branch.
+
+        ``dbc``/``slot`` are the gathered ``(K, N)`` per-access matrices
+        (already range-validated by the batch layer). Returns the
+        ``(K,)`` int64 totals, bit-identical to the flattened-sort numpy
+        path and to per-candidate reference replay.
+        """
+        positions = positions_array(domains, ports)
+        return _population_kernel(
+            np.ascontiguousarray(dbc, dtype=np.int64),
+            np.ascontiguousarray(slot, dtype=np.int64),
+            positions,
+            num_dbcs,
+            warm_start,
+        )
+
+
+def warmup() -> float:
+    """Force JIT compilation of both kernels; returns the wall seconds.
+
+    The first call per argument-type signature pays LLVM compilation
+    (``cache=True`` amortizes it across processes via the on-disk
+    cache); benchmarks call this once so steady-state rows never include
+    it, and report the returned time separately.
+    """
+    backend = NumbaBackend(require_compiled=False)
+    started = time.perf_counter()
+    request = ShiftRequest(
+        dbc=np.array([0, 0, 1], dtype=np.int64),
+        slot=np.array([1, 3, 2], dtype=np.int64),
+        num_dbcs=2,
+        domains=8,
+        ports=2,
+    )
+    backend.run(request)
+    backend.population_nearest(
+        np.array([[0, 1, 0]], dtype=np.int64),
+        np.array([[1, 2, 3]], dtype=np.int64),
+        num_dbcs=2,
+        domains=8,
+        ports=2,
+        warm_start=True,
+    )
+    return time.perf_counter() - started

@@ -515,6 +515,16 @@ def run_matrix(
         workers = profile.workers
     if backend is None:
         backend = profile.engine_backend
+    if isinstance(backend, str):
+        # Resolve aliases ("auto") to one concrete backend name *here*,
+        # in the parent: the name is hashed into every cell key and
+        # shipped verbatim to the pool initializer, so workers can never
+        # calibrate to a different backend than the one the parent keyed
+        # the cells with. Unknown/uninstalled names fail fast with the
+        # pointed install hint instead of deep inside a worker.
+        from repro.engine import resolve_backend_name
+
+        backend = resolve_backend_name(backend)
     if offline is None:
         offline = profile.offline
     if shared_traces is None:

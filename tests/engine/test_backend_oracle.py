@@ -1,0 +1,127 @@
+"""Cross-backend differential oracle.
+
+Every registered backend must produce bit-identical ``ShiftResult``s to
+the per-access reference backend — counters *and* final state — over a
+randomized matrix of traces, port counts, warm/cold starts and
+:class:`ShiftCursor` chunk sizes. The parametrization iterates
+``available_backends()`` plus the known optional backends, so a newly
+registered backend inherits the whole matrix for free and an
+uninstalled optional backend shows up as an explicit skip with its
+install hint, not as silent non-coverage.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    OPTIONAL_BACKEND_EXTRAS,
+    PortPolicy,
+    ShiftCursor,
+    ShiftRequest,
+    available_backends,
+    get_backend,
+)
+from repro.engine.reference import ReferenceBackend
+
+#: Registered backends plus known optional ones — the latter param-skip
+#: with a pointed reason when the extra is not installed.
+ALL_BACKENDS = sorted(set(available_backends()) | set(OPTIONAL_BACKEND_EXTRAS))
+
+PORTS = (1, 2, 4, 8)
+CHUNK_SIZES = (1, 7, 4096)
+
+
+@pytest.fixture(params=ALL_BACKENDS)
+def backend(request):
+    name = request.param
+    if name not in available_backends():
+        from repro.engine import _install_hint
+
+        pytest.skip(f"backend {name!r} not installed ({_install_hint(name)})")
+    return get_backend(name)
+
+
+def random_request(seed: int, ports: int, warm_start: bool,
+                   accesses: int = 500, num_dbcs: int = 6,
+                   domains: int = 64) -> ShiftRequest:
+    rng = np.random.default_rng(seed)
+    return ShiftRequest(
+        dbc=rng.integers(0, num_dbcs, accesses),
+        slot=rng.integers(0, domains, accesses),
+        num_dbcs=num_dbcs,
+        domains=domains,
+        ports=ports,
+        warm_start=warm_start,
+    )
+
+
+@pytest.mark.parametrize("ports", PORTS)
+@pytest.mark.parametrize("warm_start", [True, False])
+def test_monolithic_replay_matches_reference(backend, ports, warm_start):
+    oracle = ReferenceBackend()
+    for seed in range(3):
+        request = random_request(seed, ports, warm_start)
+        assert backend.run(request) == oracle.run(request)
+
+
+@pytest.mark.parametrize("ports", [1, 4])
+def test_static_policy_matches_reference(backend, ports):
+    oracle = ReferenceBackend()
+    request = random_request(11, ports, True)
+    request = ShiftRequest(
+        dbc=request.dbc, slot=request.slot, num_dbcs=request.num_dbcs,
+        domains=request.domains, ports=ports, policy=PortPolicy.STATIC,
+    )
+    assert backend.run(request) == oracle.run(request)
+
+
+@pytest.mark.parametrize("warm_start", [True, False])
+def test_carry_in_matches_reference(backend, warm_start):
+    oracle = ReferenceBackend()
+    rng = np.random.default_rng(23)
+    request = random_request(23, 2, warm_start)
+    seeded = ShiftRequest(
+        dbc=request.dbc, slot=request.slot, num_dbcs=request.num_dbcs,
+        domains=request.domains, ports=2, warm_start=warm_start,
+        init_offsets=rng.integers(0, request.domains, request.num_dbcs),
+        init_aligned=rng.integers(0, 2, request.num_dbcs).astype(bool),
+    )
+    assert backend.run(seeded) == oracle.run(seeded)
+
+
+@pytest.mark.parametrize("chunk", CHUNK_SIZES)
+@pytest.mark.parametrize("warm_start", [True, False])
+def test_cursor_chunk_size_invariance(backend, chunk, warm_start):
+    """Chunked replay == monolithic replay, for any chunk size."""
+    request = random_request(42, 4, warm_start, accesses=600)
+    monolithic = backend.run(request)
+    cursor = ShiftCursor(
+        num_dbcs=request.num_dbcs, domains=request.domains, ports=4,
+        warm_start=warm_start, backend=backend,
+    )
+    for start in range(0, request.accesses, chunk):
+        cursor.replay_chunk(request.dbc[start:start + chunk],
+                            request.slot[start:start + chunk])
+    accumulated = cursor.result()
+    assert accumulated.shifts == monolithic.shifts
+    assert accumulated.per_dbc_shifts == monolithic.per_dbc_shifts
+    assert np.array_equal(accumulated.final_offsets,
+                          monolithic.final_offsets)
+    assert np.array_equal(accumulated.final_aligned,
+                          monolithic.final_aligned)
+
+
+def test_empty_chunk_is_identity(backend):
+    request = random_request(5, 2, True, accesses=50)
+    before = backend.run(request)
+    empty = np.array([], dtype=np.int64)
+    resumed = ShiftRequest(
+        dbc=empty, slot=empty, num_dbcs=request.num_dbcs,
+        domains=request.domains, ports=2,
+        init_offsets=np.asarray(before.final_offsets),
+        init_aligned=np.asarray(before.final_aligned),
+    )
+    after = backend.run(resumed)
+    assert after.shifts == 0
+    assert np.array_equal(after.final_offsets, before.final_offsets)
+    assert np.array_equal(after.final_aligned, before.final_aligned)

@@ -1,0 +1,255 @@
+"""The JIT-compiled backend, tested without needing the extra.
+
+When numba is absent, the ``njit`` decorator in
+:mod:`repro.engine.numba_backend` degrades to the identity — the exact
+kernel code the JIT would compile runs interpreted. These tests
+construct the backend with ``require_compiled=False``, so the compiled
+semantics (replay loops, carry-in, population kernel, ``evaluate_batch``
+delegation) are pinned on every machine; the CI leg with the
+``compiled`` extra runs the same tests through the real JIT.
+"""
+
+import numpy as np
+import pytest
+
+import repro.engine as engine
+from repro.engine import (
+    AUTO_BACKEND,
+    ShiftCursor,
+    ShiftRequest,
+    evaluate_batch,
+    get_backend,
+    resolve_backend_name,
+)
+from repro.engine.numba_backend import (
+    INSTALL_HINT,
+    NUMBA_AVAILABLE,
+    NumbaBackend,
+)
+from repro.engine.reference import ReferenceBackend
+from repro.errors import SimulationError
+
+
+@pytest.fixture
+def interpreted():
+    return NumbaBackend(require_compiled=False)
+
+
+def random_request(seed=3, accesses=400, num_dbcs=6, domains=64, ports=2,
+                   warm_start=True, **kwargs):
+    rng = np.random.default_rng(seed)
+    return ShiftRequest(
+        dbc=rng.integers(0, num_dbcs, accesses),
+        slot=rng.integers(0, domains, accesses),
+        num_dbcs=num_dbcs,
+        domains=domains,
+        ports=ports,
+        warm_start=warm_start,
+        **kwargs,
+    )
+
+
+class TestInterpretedKernels:
+    @pytest.mark.parametrize("ports", [1, 2, 8])
+    @pytest.mark.parametrize("warm_start", [True, False])
+    def test_replay_matches_reference(self, interpreted, ports, warm_start):
+        request = random_request(ports=ports, warm_start=warm_start)
+        assert interpreted.run(request) == ReferenceBackend().run(request)
+
+    def test_static_positions_slice(self, interpreted):
+        from repro.engine.semantics import PortPolicy
+
+        rng = np.random.default_rng(9)
+        request = ShiftRequest(
+            dbc=rng.integers(0, 4, 200), slot=rng.integers(0, 32, 200),
+            num_dbcs=4, domains=32, ports=4, policy=PortPolicy.STATIC,
+        )
+        assert interpreted.run(request) == ReferenceBackend().run(request)
+
+    def test_carry_in_chains(self, interpreted):
+        """Two carried halves == one monolithic run."""
+        request = random_request(seed=17, accesses=300)
+        whole = interpreted.run(request)
+        half = 150
+        first = interpreted.run(ShiftRequest(
+            dbc=request.dbc[:half], slot=request.slot[:half],
+            num_dbcs=request.num_dbcs, domains=request.domains, ports=2,
+        ))
+        second = interpreted.run(ShiftRequest(
+            dbc=request.dbc[half:], slot=request.slot[half:],
+            num_dbcs=request.num_dbcs, domains=request.domains, ports=2,
+            init_offsets=np.asarray(first.final_offsets),
+            init_aligned=np.asarray(first.final_aligned),
+        ))
+        assert first.shifts + second.shifts == whole.shifts
+        assert np.array_equal(second.final_offsets, whole.final_offsets)
+
+    def test_cursor_accepts_instance(self, interpreted):
+        request = random_request(seed=29, accesses=256, ports=4)
+        cursor = ShiftCursor(num_dbcs=6, domains=64, ports=4,
+                             backend=interpreted)
+        for start in range(0, 256, 100):
+            cursor.replay_chunk(request.dbc[start:start + 100],
+                                request.slot[start:start + 100])
+        assert cursor.result() == interpreted.run(request)
+
+    def test_slot_outside_track_rejected(self, interpreted):
+        request = ShiftRequest(dbc=np.array([0]), slot=np.array([8]),
+                               num_dbcs=1, domains=8)
+        with pytest.raises(SimulationError, match="outside track"):
+            interpreted.run(request)
+
+    def test_empty_request(self, interpreted):
+        empty = np.array([], dtype=np.int64)
+        result = interpreted.run(ShiftRequest(
+            dbc=empty, slot=empty, num_dbcs=3, domains=16,
+        ))
+        assert result.accesses == 0 and result.shifts == 0
+
+
+class TestPopulationKernel:
+    @pytest.fixture
+    def population(self):
+        rng = np.random.default_rng(31)
+        k, num_vars, num_dbcs, accesses = 8, 12, 3, 120
+        codes = rng.integers(0, num_vars, accesses)
+        dbc_of = np.empty((k, num_vars), dtype=np.int64)
+        pos_of = np.empty((k, num_vars), dtype=np.int64)
+        lanes = np.arange(num_vars, dtype=np.int64)
+        for r in range(k):
+            perm = rng.permutation(num_vars)
+            dbc_of[r, perm] = lanes % num_dbcs
+            pos_of[r, perm] = lanes // num_dbcs
+        return codes, dbc_of, pos_of, num_dbcs
+
+    @pytest.mark.parametrize("warm_start", [True, False])
+    def test_matches_numpy_and_reference(self, interpreted, population,
+                                         warm_start):
+        codes, dbc_of, pos_of, num_dbcs = population
+        kwargs = dict(num_dbcs=num_dbcs, domains=16, ports=2,
+                      warm_start=warm_start)
+        totals_np = evaluate_batch(codes, dbc_of, pos_of, backend="numpy",
+                                   **kwargs)
+        totals_nb = evaluate_batch(codes, dbc_of, pos_of,
+                                   backend=interpreted, **kwargs)
+        assert np.array_equal(totals_np, totals_nb)
+        oracle = ReferenceBackend()
+        for r in range(dbc_of.shape[0]):
+            expected = oracle.run(ShiftRequest(
+                dbc=dbc_of[r][codes], slot=pos_of[r][codes],
+                num_dbcs=num_dbcs, domains=16, ports=2,
+                warm_start=warm_start,
+            )).shifts
+            assert int(totals_nb[r]) == expected
+
+    def test_delegation_reaches_hook(self, interpreted, population,
+                                     monkeypatch):
+        """With a hook-bearing backend, ``_batch_nearest`` is bypassed."""
+        import repro.engine.batch as batch
+
+        def boom(*args, **kwargs):
+            raise AssertionError("flattened-sort path should be bypassed")
+
+        monkeypatch.setattr(batch, "_batch_nearest", boom)
+        codes, dbc_of, pos_of, num_dbcs = population
+        totals = evaluate_batch(codes, dbc_of, pos_of, backend=interpreted,
+                                num_dbcs=num_dbcs, domains=16, ports=2)
+        assert totals.shape == (dbc_of.shape[0],)
+
+    def test_ambient_env_delegates(self, interpreted, population,
+                                   monkeypatch):
+        """``REPRO_BACKEND`` steers ``evaluate_batch(backend=None)``."""
+        codes, dbc_of, pos_of, num_dbcs = population
+        kwargs = dict(num_dbcs=num_dbcs, domains=16, ports=2)
+        baseline = evaluate_batch(codes, dbc_of, pos_of, **kwargs)
+        monkeypatch.setitem(engine._BACKENDS, "numba", interpreted)
+        monkeypatch.setenv("REPRO_BACKEND", "numba")
+        totals = evaluate_batch(codes, dbc_of, pos_of, **kwargs)
+        assert np.array_equal(totals, baseline)
+
+    def test_single_port_stays_anchored(self, interpreted, population):
+        """ports=1 keeps the closed-form path; no hook involvement."""
+        codes, dbc_of, pos_of, num_dbcs = population
+        kwargs = dict(num_dbcs=num_dbcs, domains=16, ports=1)
+        assert np.array_equal(
+            evaluate_batch(codes, dbc_of, pos_of, backend=interpreted,
+                           **kwargs),
+            evaluate_batch(codes, dbc_of, pos_of, backend="numpy", **kwargs),
+        )
+
+
+class TestAvailabilityGating:
+    def test_registration_tracks_import_gate(self):
+        assert ("numba" in engine.available_backends()) == NUMBA_AVAILABLE
+
+    @pytest.mark.skipif(NUMBA_AVAILABLE, reason="needs numba absent")
+    def test_constructor_raises_with_hint(self):
+        with pytest.raises(SimulationError, match="compiled"):
+            NumbaBackend()
+        with pytest.raises(SimulationError,
+                           match=INSTALL_HINT.replace("[", r"\[")):
+            NumbaBackend()
+
+    @pytest.mark.skipif(NUMBA_AVAILABLE, reason="needs numba absent")
+    def test_get_backend_raises_with_hint(self):
+        with pytest.raises(SimulationError,
+                           match=INSTALL_HINT.replace("[", r"\[")):
+            get_backend("numba")
+
+    @pytest.mark.skipif(not NUMBA_AVAILABLE, reason="needs the extra")
+    def test_registered_when_installed(self):
+        assert get_backend("numba").name == "numba"
+        from repro.engine.numba_backend import warmup
+
+        assert warmup() >= 0.0
+
+    def test_truly_unknown_name_keeps_old_error(self):
+        with pytest.raises(SimulationError, match="unknown engine backend"):
+            get_backend("cuda")
+
+    def test_non_callable_run_rejected(self):
+        class Impostor:
+            run = "not callable"
+
+        with pytest.raises(SimulationError, match="non-callable"):
+            get_backend(Impostor())
+
+
+class TestAutoSelection:
+    @pytest.fixture(autouse=True)
+    def fresh_cache(self):
+        engine._reset_auto_cache()
+        yield
+        engine._reset_auto_cache()
+
+    def test_resolves_to_registered_backend(self):
+        name = resolve_backend_name(AUTO_BACKEND)
+        assert name in engine.available_backends()
+        assert name != "reference"  # the oracle never wins auto
+
+    def test_resolution_is_cached(self, monkeypatch):
+        first = engine.resolve_auto_backend()
+
+        def boom():
+            raise AssertionError("calibration must run at most once")
+
+        monkeypatch.setattr(engine, "_calibrate_auto", boom)
+        assert engine.resolve_auto_backend() == first
+
+    def test_get_backend_accepts_auto(self):
+        backend = get_backend(AUTO_BACKEND)
+        assert backend.name == engine.resolve_auto_backend()
+
+    def test_env_accepts_auto(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", AUTO_BACKEND)
+        assert get_backend(None).name == engine.resolve_auto_backend()
+
+    def test_cursor_accepts_auto(self):
+        cursor = ShiftCursor(num_dbcs=2, domains=16, backend=AUTO_BACKEND)
+        rng = np.random.default_rng(1)
+        cursor.replay_chunk(rng.integers(0, 2, 32), rng.integers(0, 16, 32))
+        assert cursor.shifts >= 0
+
+    def test_registered_names_pass_through(self):
+        assert resolve_backend_name("numpy") == "numpy"
+        assert resolve_backend_name("reference") == "reference"

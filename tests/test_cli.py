@@ -131,6 +131,35 @@ class TestExperimentStoreFlags:
                              "--shard", "2/2"])
 
 
+class TestBackendFlags:
+    def test_list_backends(self, capsys):
+        assert main_experiment(["--list-backends"]) == 0
+        out = capsys.readouterr().out
+        assert "auto" in out and "numpy" in out and "reference" in out
+        assert "numba" in out  # known optional backend always listed
+        from repro.engine.numba_backend import NUMBA_AVAILABLE
+
+        if not NUMBA_AVAILABLE:
+            assert "pip install" in out and "[compiled]" in out
+
+    def test_uninstalled_backend_gets_pointed_error(self, trace_file,
+                                                    capsys):
+        from repro.engine.numba_backend import NUMBA_AVAILABLE
+
+        if NUMBA_AVAILABLE:
+            pytest.skip("needs numba absent")
+        with pytest.raises(SystemExit):
+            main_sim([trace_file, "--dbcs", "2", "--domains", "512",
+                      "--backend", "numba"])
+        err = capsys.readouterr().err
+        assert "compiled" in err and "pip install" in err
+
+    def test_auto_backend_accepted(self, trace_file, capsys):
+        assert main_sim([trace_file, "--dbcs", "2", "--domains", "512",
+                        "--backend", "auto"]) == 0
+        assert "shifts" in capsys.readouterr().out
+
+
 class TestExperimentWorkloads:
     @pytest.fixture(autouse=True)
     def smoke_profile(self, monkeypatch):
