@@ -185,6 +185,7 @@ _EXPERIMENTS = {
     "ablation-multiset": lambda profile: _ablation("ablation_multiset")(profile),
     "ablation-swapping": lambda profile: _ablation("ablation_swapping")(profile),
     "ablation-dbc-sweep": lambda profile: _ablation("ablation_dbc_sweep")(profile),
+    "ablation-faults": lambda profile: _ablation("ablation_faults")(profile),
 }
 
 
@@ -269,6 +270,18 @@ def main_experiment(argv: Sequence[str] | None = None) -> int:
                         help="port counts swept by the multi-port "
                              "experiments, e.g. --ports 1 2 4 8 (default: "
                              "profile / REPRO_PORTS)")
+    parser.add_argument("--fault-rate", type=float, default=None,
+                        metavar="P",
+                        help="per-shift off-by-one fault probability in "
+                             "[0, 1] injected into every simulated cell "
+                             "(default: profile / REPRO_FAULT_RATE; 0 = "
+                             "clean; see docs/faults.md)")
+    parser.add_argument("--scrub-interval", type=int, default=None,
+                        metavar="S",
+                        help="realign drifted tracks every S accesses, "
+                             "charging the corrective shifts (requires a "
+                             "nonzero --fault-rate; default: profile / "
+                             "REPRO_SCRUB_INTERVAL)")
     parser.add_argument("--store", metavar="PATH", default=None,
                         help="persistent experiment store (default: "
                              "REPRO_STORE; cells are read from and written "
@@ -320,6 +333,20 @@ def main_experiment(argv: Sequence[str] | None = None) -> int:
         if min(args.ports) < 1:
             parser.error("--ports must list port counts >= 1")
         profile = replace(profile, ports=tuple(args.ports))
+    if args.fault_rate is not None:
+        if not math.isfinite(args.fault_rate) or not 0.0 <= args.fault_rate <= 1.0:
+            parser.error("--fault-rate must be a probability in [0, 1]")
+        profile = replace(profile, fault_rate=args.fault_rate)
+    if args.scrub_interval is not None:
+        if args.scrub_interval < 1:
+            parser.error("--scrub-interval must be >= 1")
+        profile = replace(profile, scrub_interval=args.scrub_interval)
+    # Checked only after every override is applied: the interval may come
+    # from REPRO_SCRUB_INTERVAL with the rate supplied here, or vice versa.
+    if profile.scrub_interval is not None and not profile.fault_rate:
+        parser.error("--scrub-interval requires a nonzero --fault-rate "
+                     "(scrubbing a clean simulation would only charge "
+                     "useless shifts)")
     if args.store is not None:
         profile = replace(profile, store=args.store)
     if args.from_store:

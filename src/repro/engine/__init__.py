@@ -50,6 +50,7 @@ from repro.engine.compile import (
     try_create_arena,
 )
 from repro.engine.cursor import ShiftCursor
+from repro.engine.faults import FaultModel, FaultObservation
 from repro.engine.numba_backend import NumbaBackend
 from repro.engine.numpy_backend import NumpyBackend, single_port_warm_total
 from repro.engine.reference import ReferenceBackend
@@ -252,6 +253,8 @@ __all__ = [
     "ArenaSpec",
     "DEFAULT_BACKEND",
     "DeltaCost",
+    "FaultModel",
+    "FaultObservation",
     "NumbaBackend",
     "NumpyBackend",
     "OPTIONAL_BACKEND_EXTRAS",

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.engine.faults import FaultModel, FaultObservation
 from repro.engine.semantics import PortPolicy
 from repro.engine.types import ShiftRequest, ShiftResult
 from repro.errors import SimulationError
@@ -40,6 +41,15 @@ class ShiftCursor:
     :func:`repro.engine.get_backend` does — including ``"auto"`` and
     the optional compiled backend, whose carry-in support makes chunked
     replay chunk-size-invariant exactly like the core backends.
+
+    With a ``fault`` model attached, the cursor also carries the
+    per-DBC physical-minus-believed drift across chunks and threads the
+    absolute access index (``access_base`` plus the accesses replayed
+    so far) into each chunk's request — the counter-based fault RNG is
+    keyed on that index, so chunked faulted replay stays bit-identical
+    to monolithic faulted replay at any chunk size. :meth:`scrub`
+    implements the position-error scrubbing primitive on top of the
+    drift state.
     """
 
     def __init__(
@@ -52,6 +62,9 @@ class ShiftCursor:
         backend: object = None,
         init_offsets: np.ndarray | None = None,
         init_aligned: np.ndarray | None = None,
+        fault: FaultModel | None = None,
+        access_base: int = 0,
+        init_drifts: np.ndarray | None = None,
     ) -> None:
         from repro.engine import get_backend
 
@@ -63,6 +76,14 @@ class ShiftCursor:
         self.policy = policy
         self.warm_start = warm_start
         self._backend = get_backend(backend)
+        if fault is not None and fault.is_null:
+            fault = None  # same normalization as ShiftRequest
+        self.fault = fault
+        if access_base < 0:
+            raise SimulationError(
+                f"access_base must be >= 0, got {access_base}"
+            )
+        self.access_base = int(access_base)
         if init_offsets is None:
             self._offsets = np.zeros(self.num_dbcs, dtype=np.int64)
         else:
@@ -71,10 +92,24 @@ class ShiftCursor:
             self._aligned = np.zeros(self.num_dbcs, dtype=bool)
         else:
             self._aligned = np.array(init_aligned, dtype=bool)
+        if init_drifts is None:
+            self._drifts = np.zeros(self.num_dbcs, dtype=np.int64)
+        else:
+            if fault is None and np.any(np.asarray(init_drifts) != 0):
+                raise SimulationError(
+                    "init_drifts requires a fault model: nonzero drift "
+                    "cannot evolve without one"
+                )
+            self._drifts = np.array(init_drifts, dtype=np.int64)
         self._per_dbc_shifts = np.zeros(self.num_dbcs, dtype=np.int64)
         self._accesses = 0
         self._shifts = 0
         self._writes = 0
+        self._fault_injected = 0
+        self._fault_misaligned = 0
+        self._corrupted = False
+        self._scrub_shifts = 0
+        self._scrub_events = 0
 
     # -- replay --------------------------------------------------------------
 
@@ -103,6 +138,9 @@ class ShiftCursor:
                 warm_start=self.warm_start,
                 init_offsets=self._offsets,
                 init_aligned=self._aligned,
+                fault=self.fault,
+                access_base=self.access_base + self._accesses,
+                init_drifts=self._drifts if self.fault is not None else None,
             )
         )
         self._offsets = np.asarray(result.final_offsets, dtype=np.int64)
@@ -113,7 +151,35 @@ class ShiftCursor:
         self._shifts += result.shifts
         if writes is not None:
             self._writes += int(np.count_nonzero(writes))
+        if result.faults is not None:
+            self._drifts = np.asarray(result.faults.final_drifts,
+                                      dtype=np.int64)
+            self._fault_injected += result.faults.injected
+            self._fault_misaligned += result.faults.misaligned
+            self._corrupted = self._corrupted or result.faults.corrupted
         return result
+
+    def scrub(self) -> int:
+        """Realign every drifted track, charging the corrective shifts.
+
+        The scrubbing primitive of the coding layer: a position-error
+        scrub reads each track's alignment mark and issues ``|drift|``
+        corrective shifts to cancel the accumulated drift. Returns the
+        shifts charged (also accumulated separately as
+        :attr:`scrub_shifts`, so callers can price scrub traffic apart
+        from placement traffic). Requires an attached fault model —
+        without one there is no drift to scrub.
+        """
+        if self.fault is None:
+            raise SimulationError(
+                "scrub() requires a fault model: a clean cursor has no "
+                "position drift to correct"
+            )
+        shifts = int(np.abs(self._drifts).sum())
+        self._drifts = np.zeros(self.num_dbcs, dtype=np.int64)
+        self._scrub_shifts += shifts
+        self._scrub_events += 1
+        return shifts
 
     def result(self) -> ShiftResult:
         """The accumulated totals as one :class:`ShiftResult`.
@@ -122,22 +188,38 @@ class ShiftCursor:
         monolithic run over the concatenation of every chunk replayed
         so far.
         """
+        faults = None
+        if self.fault is not None:
+            faults = FaultObservation(
+                injected=self._fault_injected,
+                misaligned=self._fault_misaligned,
+                final_drifts=self._drifts.copy(),
+                corrupted=self._corrupted,
+                corrective_shifts=self._scrub_shifts,
+            )
         return ShiftResult(
             accesses=self._accesses,
             shifts=self._shifts,
             per_dbc_shifts=tuple(int(s) for s in self._per_dbc_shifts),
             final_offsets=self._offsets.copy(),
             final_aligned=self._aligned.copy(),
+            faults=faults,
         )
 
     def reset(self) -> None:
         """Return to the cold initial state (offset 0, unaligned, zeros)."""
         self._offsets = np.zeros(self.num_dbcs, dtype=np.int64)
         self._aligned = np.zeros(self.num_dbcs, dtype=bool)
+        self._drifts = np.zeros(self.num_dbcs, dtype=np.int64)
         self._per_dbc_shifts = np.zeros(self.num_dbcs, dtype=np.int64)
         self._accesses = 0
         self._shifts = 0
         self._writes = 0
+        self._fault_injected = 0
+        self._fault_misaligned = 0
+        self._corrupted = False
+        self._scrub_shifts = 0
+        self._scrub_events = 0
 
     # -- accessors -----------------------------------------------------------
 
@@ -166,6 +248,32 @@ class ShiftCursor:
     @property
     def writes(self) -> int:
         return self._writes
+
+    @property
+    def drifts(self) -> np.ndarray:
+        """Current per-DBC physical-minus-believed drift (all zero clean)."""
+        return self._drifts
+
+    @property
+    def fault_injected(self) -> int:
+        return self._fault_injected
+
+    @property
+    def fault_misaligned(self) -> int:
+        return self._fault_misaligned
+
+    @property
+    def corrupted(self) -> bool:
+        """Sticky: did any access ever leave the physical track envelope?"""
+        return self._corrupted
+
+    @property
+    def scrub_shifts(self) -> int:
+        return self._scrub_shifts
+
+    @property
+    def scrub_events(self) -> int:
+        return self._scrub_events
 
     def __repr__(self) -> str:
         return (

@@ -38,6 +38,7 @@ import time
 
 import numpy as np
 
+from repro.engine.faults import FaultObservation, empty_observation
 from repro.engine.numpy_backend import positions_array
 from repro.engine.semantics import PortPolicy
 from repro.engine.types import ShiftRequest, ShiftResult
@@ -96,6 +97,54 @@ def _replay_kernel(dbc, slot, positions, offsets, aligned, per_dbc,
         if aligned[d] or not warm_start:
             per_dbc[d] += best_abs
         aligned[d] = True
+
+
+@_njit(cache=True, nogil=True)
+def _replay_fault_kernel(dbc, slot, positions, domains, offsets, aligned,
+                         per_dbc, warm_start, pending, drifts, counters):
+    """Faulted replay: the clean kernel plus per-DBC drift evolution.
+
+    ``pending`` holds the precomputed per-access fault draws (the RNG
+    lives outside the kernel so interpreted and JIT runs consume
+    identical uint64-free inputs); ``drifts`` enters as the carry-in
+    physical-minus-believed drift and leaves as the final one;
+    ``counters`` is ``[injected, misaligned, corrupted]``. The believed
+    dynamics (offsets/aligned/per_dbc) are exactly the clean kernel's —
+    a fault only moves the drift one domain in the shift direction, and
+    only on an access that actually charged shifts.
+    """
+    n = dbc.shape[0]
+    p = positions.shape[0]
+    for i in range(n):
+        d = dbc[i]
+        s = slot[i]
+        off = offsets[d]
+        best = s - positions[0] - off
+        best_abs = abs(best)
+        for j in range(1, p):
+            delta = s - positions[j] - off
+            a = abs(delta)
+            if a < best_abs:
+                best = delta
+                best_abs = a
+        new_off = off + best
+        offsets[d] = new_off
+        charged = aligned[d] or not warm_start
+        if charged:
+            per_dbc[d] += best_abs
+        aligned[d] = True
+        if charged and best != 0 and pending[i] != 0:
+            if best > 0:
+                drifts[d] += pending[i]
+            else:
+                drifts[d] -= pending[i]
+            counters[0] += 1
+        dr = drifts[d]
+        if dr != 0:
+            counters[1] += 1
+            phys = new_off + dr
+            if phys > domains - 1 or phys < -(domains - 1):
+                counters[2] = 1
 
 
 @_njit(cache=True, nogil=True)
@@ -166,6 +215,10 @@ class NumbaBackend:
                 per_dbc_shifts=(0,) * request.num_dbcs,
                 final_offsets=init_offsets.copy(),
                 final_aligned=init_aligned.copy(),
+                faults=(
+                    empty_observation(request.resolved_init_drifts())
+                    if request.fault is not None else None
+                ),
             )
         slot = request.slot
         lo, hi = int(slot.min()), int(slot.max())
@@ -180,16 +233,37 @@ class NumbaBackend:
         offsets = init_offsets.copy()
         aligned = init_aligned.copy()
         per_dbc = np.zeros(request.num_dbcs, dtype=np.int64)
-        _replay_kernel(
-            request.dbc, slot, positions, offsets, aligned, per_dbc,
-            request.warm_start,
-        )
+        faults = None
+        if request.fault is not None:
+            pending = np.ascontiguousarray(
+                request.fault.pending(request.dbc, request.access_base),
+                dtype=np.int64,
+            )
+            drifts = request.resolved_init_drifts().copy()
+            counters = np.zeros(3, dtype=np.int64)
+            _replay_fault_kernel(
+                request.dbc, slot, positions, request.domains, offsets,
+                aligned, per_dbc, request.warm_start, pending, drifts,
+                counters,
+            )
+            faults = FaultObservation(
+                injected=int(counters[0]),
+                misaligned=int(counters[1]),
+                final_drifts=drifts,
+                corrupted=bool(counters[2]),
+            )
+        else:
+            _replay_kernel(
+                request.dbc, slot, positions, offsets, aligned, per_dbc,
+                request.warm_start,
+            )
         return ShiftResult(
             accesses=n,
             shifts=int(per_dbc.sum()),
             per_dbc_shifts=tuple(int(c) for c in per_dbc),
             final_offsets=offsets,
             final_aligned=aligned,
+            faults=faults,
         )
 
     # -- population hook -----------------------------------------------------
@@ -239,6 +313,16 @@ def warmup() -> float:
         ports=2,
     )
     backend.run(request)
+    from repro.engine.faults import FaultModel
+
+    backend.run(ShiftRequest(
+        dbc=np.array([0, 0, 1], dtype=np.int64),
+        slot=np.array([1, 3, 2], dtype=np.int64),
+        num_dbcs=2,
+        domains=8,
+        ports=2,
+        fault=FaultModel(rate=0.5, seed=1),
+    ))
     backend.population_nearest(
         np.array([[0, 1, 0]], dtype=np.int64),
         np.array([[1, 2, 3]], dtype=np.int64),

@@ -40,6 +40,7 @@ from functools import lru_cache
 
 import numpy as np
 
+from repro.engine.faults import empty_observation, observe_faults_sorted
 from repro.engine.semantics import PortPolicy, port_boundaries, port_positions
 from repro.engine.types import ShiftRequest, ShiftResult
 from repro.errors import SimulationError
@@ -107,6 +108,10 @@ class NumpyBackend:
                 per_dbc_shifts=(0,) * request.num_dbcs,
                 final_offsets=init_offsets.copy(),
                 final_aligned=init_aligned.copy(),
+                faults=(
+                    empty_observation(request.resolved_init_drifts())
+                    if request.fault is not None else None
+                ),
             )
         slot = request.slot
         lo, hi = int(slot.min()), int(slot.max())
@@ -138,6 +143,48 @@ class NumpyBackend:
             last_port = chosen[last_idx]
         if request.warm_start:
             costs[first_idx[~init_aligned[first_dbc]]] = 0
+        faults = None
+        if request.fault is not None:
+            # Faults never feed back into the believed dynamics, so the
+            # clean scan above stays untouched; the fault pass only
+            # needs the *signed* per-access deltas it implies.
+            single = request.ports == 1 or request.policy is PortPolicy.STATIC
+            delta = np.empty(n, dtype=np.int64)
+            if single:
+                delta[1:] = np.diff(ss)
+                delta[first_idx] = (
+                    ss[first_idx] - positions[0] - init_offsets[first_dbc]
+                )
+                offset_after = ss - positions[0]
+            else:
+                gap = np.empty(n, dtype=np.int64)
+                gap[0] = 0
+                np.subtract(ss[1:], ss[:-1], out=gap[1:])
+                prev = np.empty(n, dtype=np.intp)
+                prev[0] = 0
+                prev[1:] = chosen[:-1]
+                delta = gap + positions[prev] - positions[chosen]
+                delta[first_idx] = (
+                    ss[first_idx] - init_offsets[first_dbc]
+                ) - positions[chosen[first_idx]]
+                offset_after = ss - positions[chosen]
+            if request.warm_start:
+                # Free first alignment issues no physical shifts.
+                delta[first_idx[~init_aligned[first_dbc]]] = 0
+            faults = observe_faults_sorted(
+                request.fault,
+                dbc=request.dbc,
+                order=order,
+                delta=delta,
+                offset_after=offset_after,
+                run_first=run_first,
+                first_idx=first_idx,
+                first_dbc=first_dbc,
+                last_idx=last_idx,
+                domains=request.domains,
+                access_base=request.access_base,
+                init_drifts=request.resolved_init_drifts(),
+            )
         per_dbc = np.zeros(request.num_dbcs, dtype=np.int64)
         np.add.at(per_dbc, ds, costs)
         final_offsets = init_offsets.copy()
@@ -150,6 +197,7 @@ class NumpyBackend:
             per_dbc_shifts=tuple(int(c) for c in per_dbc),
             final_offsets=final_offsets,
             final_aligned=final_aligned,
+            faults=faults,
         )
 
 

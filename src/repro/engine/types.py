@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.engine.faults import FaultModel, FaultObservation
 from repro.engine.semantics import PortPolicy
 from repro.errors import SimulationError
 
@@ -43,6 +44,17 @@ class ShiftRequest:
     init_offsets / init_aligned:
         Optional per-DBC starting state (defaults: offset 0, unaligned),
         letting stateful callers chain batches.
+    fault:
+        Optional :class:`~repro.engine.faults.FaultModel`. A null model
+        (effective rate 0) is normalized to ``None`` here, so rate-0
+        requests run the exact clean code path.
+    access_base:
+        Absolute index of this batch's first access in its trace; the
+        fault RNG is keyed on ``access_base + i`` so chunked replay
+        draws the same faults as monolithic replay.
+    init_drifts:
+        Optional per-DBC starting physical-minus-believed drift (from a
+        previous faulted batch). Only meaningful with ``fault`` set.
     """
 
     dbc: np.ndarray
@@ -54,6 +66,9 @@ class ShiftRequest:
     warm_start: bool = True
     init_offsets: np.ndarray | None = None
     init_aligned: np.ndarray | None = None
+    fault: FaultModel | None = None
+    access_base: int = 0
+    init_drifts: np.ndarray | None = None
 
     def __post_init__(self) -> None:
         dbc = np.ascontiguousarray(self.dbc, dtype=np.int64)
@@ -71,6 +86,21 @@ class ShiftRequest:
             )
         object.__setattr__(self, "dbc", dbc)
         object.__setattr__(self, "slot", slot)
+        if self.access_base < 0:
+            raise SimulationError(
+                f"access_base must be >= 0, got {self.access_base}"
+            )
+        if self.fault is not None and self.fault.is_null:
+            # Zero-cost-when-off: a rate-0 model IS the clean replay.
+            object.__setattr__(self, "fault", None)
+        if self.fault is None and self.init_drifts is not None:
+            drifts = np.asarray(self.init_drifts)
+            if drifts.size and np.any(drifts != 0):
+                raise SimulationError(
+                    "init_drifts requires a fault model: nonzero drift "
+                    "cannot evolve without one"
+                )
+            object.__setattr__(self, "init_drifts", None)
 
     @property
     def accesses(self) -> int:
@@ -101,16 +131,34 @@ class ShiftRequest:
                 )
         return offsets, aligned
 
+    def resolved_init_drifts(self) -> np.ndarray:
+        """The starting per-DBC drift as a validated int64 array."""
+        if self.init_drifts is None:
+            return np.zeros(self.num_dbcs, dtype=np.int64)
+        drifts = np.ascontiguousarray(self.init_drifts, dtype=np.int64)
+        if drifts.shape != (self.num_dbcs,):
+            raise SimulationError(
+                f"init_drifts must have shape ({self.num_dbcs},)"
+            )
+        return drifts
+
 
 @dataclass(frozen=True, eq=False)
 class ShiftResult:
-    """Charged counters and final device state for one request."""
+    """Charged counters and final device state for one request.
+
+    ``faults`` is ``None`` for clean replay and a
+    :class:`~repro.engine.faults.FaultObservation` when the request
+    carried an active fault model; it participates in equality, so the
+    differential oracle pins fault observability bit-identically too.
+    """
 
     accesses: int
     shifts: int
     per_dbc_shifts: tuple[int, ...]
     final_offsets: np.ndarray
     final_aligned: np.ndarray
+    faults: FaultObservation | None = None
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, ShiftResult):
@@ -121,4 +169,5 @@ class ShiftResult:
             and self.per_dbc_shifts == other.per_dbc_shifts
             and np.array_equal(self.final_offsets, other.final_offsets)
             and np.array_equal(self.final_aligned, other.final_aligned)
+            and self.faults == other.faults
         )

@@ -103,6 +103,14 @@ class EvalProfile:
     #: Bit-identical either way; falls back to pickling where shm is
     #: unavailable. Only matters when ``workers > 1``.
     shared_traces: bool = False
+    #: Per-shift off-by-one fault probability injected into every
+    #: simulated cell (0.0 = clean; ``--fault-rate`` /
+    #: ``REPRO_FAULT_RATE``). Faulted cells are content-addressed apart
+    #: from clean ones, so both coexist in one store.
+    fault_rate: float = 0.0
+    #: Scrubbing cadence in accesses (requires a nonzero ``fault_rate``;
+    #: ``--scrub-interval`` / ``REPRO_SCRUB_INTERVAL``).
+    scrub_interval: int | None = None
 
     @property
     def workload_specs(self) -> tuple[str, ...]:
@@ -115,11 +123,17 @@ class EvalProfile:
             f", search x{self.search_scale:g}" if self.search_scale != 1.0 else ""
         )
         kind = "workloads" if self.workloads else "benchmarks"
+        faults = ""
+        if self.fault_rate:
+            faults = f", fault rate {self.fault_rate:g}"
+            if self.scrub_interval is not None:
+                faults += f" (scrub every {self.scrub_interval})"
         return (
             f"profile {self.name!r}: {len(self.workload_specs)} {kind} at "
             f"scale {self.suite_scale}, GA({ga or 'paper defaults'}), "
             f"RW {self.rw_iterations} iters, seed {self.seed}, "
             f"{self.engine_backend} engine x {self.workers} worker(s){scale}"
+            f"{faults}"
         )
 
 
@@ -215,6 +229,35 @@ def profile_from_env(default: str = "quick") -> EvalProfile:
                 f"REPRO_WORKLOADS must list workload specs, got {workloads!r}"
             )
         profile = replace(profile, workloads=specs)
+    fault_rate = os.environ.get("REPRO_FAULT_RATE")
+    if fault_rate:
+        try:
+            rate = float(fault_rate)
+        except ValueError:
+            raise ExperimentError(
+                f"REPRO_FAULT_RATE must be a number, got {fault_rate!r}"
+            ) from None
+        if not math.isfinite(rate) or not 0.0 <= rate <= 1.0:
+            raise ExperimentError(
+                f"REPRO_FAULT_RATE must be a probability in [0, 1], "
+                f"got {fault_rate!r}"
+            )
+        profile = replace(profile, fault_rate=rate)
+    scrub = os.environ.get("REPRO_SCRUB_INTERVAL")
+    if scrub:
+        try:
+            interval = int(scrub)
+        except ValueError:
+            raise ExperimentError(
+                f"REPRO_SCRUB_INTERVAL must be an integer, got {scrub!r}"
+            ) from None
+        if interval < 1:
+            raise ExperimentError(
+                f"REPRO_SCRUB_INTERVAL must be >= 1, got {scrub!r}"
+            )
+        profile = replace(profile, scrub_interval=interval)
+    # scrub-without-fault is rejected later (CLI post-override check and
+    # run_matrix), not here: the CLI may still add --fault-rate on top.
     ports = os.environ.get("REPRO_PORTS")
     if ports:
         try:

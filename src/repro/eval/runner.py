@@ -47,7 +47,8 @@ from dataclasses import dataclass
 
 from repro.core.cost import shift_cost
 from repro.core.policies import Policy, get_policy
-from repro.errors import ExperimentError
+from repro.engine import FaultModel
+from repro.errors import ExperimentError, SimulationError
 from repro.eval.profiles import EvalProfile, QUICK_PROFILE
 from repro.rtm.geometry import RTMConfig, iso_capacity_sweep
 from repro.rtm.report import SimReport
@@ -156,6 +157,8 @@ def run_policy_on_program(
     config: RTMConfig,
     rng=None,
     backend: object = None,
+    fault: FaultModel | None = None,
+    scrub_interval: int | None = None,
 ) -> CellResult:
     """Place and simulate every sequence of ``program`` independently.
 
@@ -169,6 +172,14 @@ def run_policy_on_program(
     observer reproduces :func:`~repro.core.cost.shift_cost` exactly.
     With the default full placement window, a streamed cell is
     bit-identical to its in-memory twin.
+
+    ``fault``/``scrub_interval`` inject the engine's deterministic
+    shift-fault model into every simulated trace (fresh per-trace
+    controllers, so fault draws are a pure function of the model seed
+    and each trace's own access indices). Because faults never perturb
+    the *believed* dynamics, the charged ``shifts`` column is identical
+    to the clean run's — the single-port reuse below stays exact — and
+    only the report's fault observability columns change.
     """
     gen = ensure_rng(rng)
     params = params_for(config)
@@ -187,7 +198,8 @@ def run_policy_on_program(
             from repro.rtm.controller import RTMController
 
             controller = RTMController(
-                config, placement, params=params, backend=backend
+                config, placement, params=params, backend=backend,
+                fault=fault, scrub_interval=scrub_interval,
             )
             if single_port:
                 report = controller.execute_stream(trace)
@@ -208,7 +220,8 @@ def run_policy_on_program(
                             else total_report + report)
             continue
         report = simulate(trace, placement, config, params=params,
-                          backend=backend)
+                          backend=backend, fault=fault,
+                          scrub_interval=scrub_interval)
         if single_port:
             # Analytic model and simulator are the same engine kernel on
             # this path; reuse the simulated count instead of recomputing.
@@ -303,6 +316,8 @@ def _cell_key(
     seed: int,
     deterministic: bool,
     backend: object,
+    fault: FaultModel | None = None,
+    scrub_interval: int | None = None,
 ) -> str:
     """Content digest identifying one cell's inputs.
 
@@ -333,6 +348,15 @@ def _cell_key(
         h.update(str(seed).encode())
     if backend is not None:
         h.update(str(backend).encode())
+    if fault is not None:
+        # Hashed only when a fault model is *active*, so every clean
+        # cell keeps its historical key (existing stores stay warm) and
+        # faulted/clean cells coexist under distinct keys in one store.
+        h.update(
+            json.dumps(
+                ["fault", fault.key_payload(), scrub_interval]
+            ).encode()
+        )
     return h.hexdigest()
 
 
@@ -371,6 +395,8 @@ def _init_worker(
     configs: Sequence[RTMConfig],
     backend: object,
     arena_spec=None,
+    fault: FaultModel | None = None,
+    scrub_interval: int | None = None,
 ) -> None:
     _reset_worker_state()
     if arena_spec is not None:
@@ -383,6 +409,8 @@ def _init_worker(
     _WORKER["policies"] = [get_policy(n, **kw) for n, kw in specs]
     _WORKER["configs"] = list(configs)
     _WORKER["backend"] = backend
+    _WORKER["fault"] = fault
+    _WORKER["scrub_interval"] = scrub_interval
 
 
 def _run_cell_job(job: tuple[int, int, int, int]) -> CellResult:
@@ -393,6 +421,8 @@ def _run_cell_job(job: tuple[int, int, int, int]) -> CellResult:
         _WORKER["configs"][config_i],
         rng=seed,
         backend=_WORKER["backend"],
+        fault=_WORKER.get("fault"),
+        scrub_interval=_WORKER.get("scrub_interval"),
     )
 
 
@@ -445,6 +475,8 @@ def _run_manifest(
             "write_ratio": profile.write_ratio,
             "search_scale": profile.search_scale,
             "ports": list(profile.ports),
+            "fault_rate": profile.fault_rate,
+            "scrub_interval": profile.scrub_interval,
         },
         "policies": list(policy_names),
         "backend": str(backend),
@@ -529,6 +561,24 @@ def run_matrix(
         offline = profile.offline
     if shared_traces is None:
         shared_traces = profile.shared_traces
+    try:
+        fault = (
+            FaultModel(rate=profile.fault_rate, seed=profile.seed)
+            if profile.fault_rate else None
+        )
+    except SimulationError as exc:
+        raise ExperimentError(f"invalid fault_rate: {exc}") from None
+    scrub_interval = profile.scrub_interval
+    if scrub_interval is not None:
+        if fault is None:
+            raise ExperimentError(
+                "scrub_interval requires a nonzero fault_rate: scrubbing "
+                "a clean simulation would silently charge useless shifts"
+            )
+        if scrub_interval < 1:
+            raise ExperimentError(
+                f"scrub_interval must be >= 1, got {scrub_interval}"
+            )
     if isinstance(shard, str):
         shard = parse_shard(shard)
     workers = _resolve_workers(workers)
@@ -544,7 +594,9 @@ def run_matrix(
             for ci, config in enumerate(configs):
                 for li, policy in enumerate(policies):
                     key = _cell_key(program, specs[li], config, seeds[i],
-                                    policy.deterministic, backend)
+                                    policy.deterministic, backend,
+                                    fault=fault,
+                                    scrub_interval=scrub_interval)
                     job = (pi, ci, li, seeds[i])
                     i += 1
                     if not _in_shard(key, shard):
@@ -578,6 +630,7 @@ def run_matrix(
                 pending, programs, policies, specs, configs, backend,
                 workers, use_cache, store_obj, stats, results,
                 policy_names, profile, shard, shared_traces,
+                fault=fault, scrub_interval=scrub_interval,
             )
     finally:
         _LAST_STATS = stats
@@ -590,7 +643,7 @@ def run_matrix(
 def _compute_pending(
     pending, programs, policies, specs, configs, backend, workers,
     use_cache, store_obj, stats, results, policy_names, profile, shard,
-    shared_traces=False,
+    shared_traces=False, fault=None, scrub_interval=None,
 ) -> None:
     """Compute the cache-missing cells, persisting each as it lands.
 
@@ -629,9 +682,11 @@ def _compute_pending(
             if arena is not None:
                 # Workers rebuild the suite from zero-copy shm views;
                 # only skeletons (names, variables) travel by pickle.
-                initargs = ((), specs, configs, backend, arena.spec)
+                initargs = ((), specs, configs, backend, arena.spec,
+                            fault, scrub_interval)
             else:
-                initargs = (programs, specs, configs, backend)
+                initargs = (programs, specs, configs, backend, None,
+                            fault, scrub_interval)
             pool_size = min(workers, len(pending))
             with ProcessPoolExecutor(
                 max_workers=pool_size,
@@ -646,6 +701,7 @@ def _compute_pending(
                 cell = run_policy_on_program(
                     programs[pi], policies[li], configs[ci],
                     rng=seed, backend=backend,
+                    fault=fault, scrub_interval=scrub_interval,
                 )
                 commit(entry, cell)
         status = "complete"

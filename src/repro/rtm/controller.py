@@ -15,7 +15,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.engine import ShiftRequest, get_backend
+from repro.engine import FaultModel, ShiftRequest, get_backend
+from repro.engine.cursor import ShiftCursor
 from repro.errors import PlacementError, SimulationError
 from repro.rtm.geometry import RTMConfig
 from repro.rtm.ports import PortPolicy
@@ -45,6 +46,19 @@ class RTMController:
     backend:
         Engine backend name or instance; defaults to the process-wide
         default (``REPRO_BACKEND`` or vectorized numpy).
+    fault:
+        Optional :class:`~repro.engine.FaultModel` injecting
+        seed-deterministic off-by-one shift faults; the controller then
+        tracks per-DBC position drift, misaligned accesses and the
+        undetected-corruption flag across ``execute`` calls. A null
+        model (rate 0) is normalized away and runs the clean path.
+    scrub_interval:
+        Optional scrubbing cadence S (requires ``fault``): after every
+        S accesses — counted across the controller's lifetime, so the
+        cadence is invariant to how traces are chunked — drifted tracks
+        are realigned, charging the corrective shifts as explicit scrub
+        traffic (priced into runtime and shift energy, reported apart
+        from placement shifts).
     """
 
     def __init__(
@@ -55,6 +69,8 @@ class RTMController:
         port_policy: PortPolicy = PortPolicy.NEAREST,
         warm_start: bool = True,
         backend: object = None,
+        fault: FaultModel | None = None,
+        scrub_interval: int | None = None,
     ) -> None:
         dbc_lists = [list(d) for d in placement.dbc_lists()]
         if len(dbc_lists) > config.dbcs:
@@ -80,9 +96,27 @@ class RTMController:
         self.port_policy = port_policy
         self.warm_start = warm_start
         self._backend = get_backend(backend)
+        if fault is not None and fault.is_null:
+            fault = None  # rate 0 is the clean path (zero-cost-when-off)
+        self.fault = fault
+        if scrub_interval is not None:
+            if fault is None:
+                raise SimulationError(
+                    "scrub_interval requires a fault model: scrubbing a "
+                    "clean controller would only charge useless shifts"
+                )
+            if int(scrub_interval) < 1:
+                raise SimulationError(
+                    f"scrub_interval must be >= 1, got {scrub_interval}"
+                )
+            scrub_interval = int(scrub_interval)
+        self.scrub_interval = scrub_interval
         self._offsets = np.zeros(config.dbcs, dtype=np.int64)
         self._aligned = np.zeros(config.dbcs, dtype=bool)
         self._per_dbc_shifts = np.zeros(config.dbcs, dtype=np.int64)
+        self._drifts = np.zeros(config.dbcs, dtype=np.int64)
+        self._corrupted = False
+        self._accesses_done = 0
 
     # -- execution -----------------------------------------------------------
 
@@ -116,20 +150,41 @@ class RTMController:
                 raise SimulationError(f"variable {name!r} has no location")
         return var_dbc[codes], var_slot[codes]
 
-    def _report(self, reads: int, writes: int, shifts: int) -> SimReport:
+    def _report(
+        self,
+        reads: int,
+        writes: int,
+        shifts: int,
+        *,
+        scrub_shifts: int = 0,
+        scrub_events: int = 0,
+        fault_injected: int = 0,
+        fault_misaligned: int = 0,
+    ) -> SimReport:
         """Price integer access/shift totals into one :class:`SimReport`.
 
         Shared by the monolithic and streaming paths; building the
         report once from accumulated *integer* counters (instead of
         summing per-chunk float reports) is what keeps streamed reports
-        float-bit-identical to monolithic ones.
+        float-bit-identical to monolithic ones. Scrub shifts are real
+        device shifts — they pay latency and shift energy like any
+        other — but stay out of ``shifts``/``per_dbc_shifts`` so
+        placement traffic remains comparable across fault settings.
         """
         p = self.params
+        device_shifts = shifts + scrub_shifts
         runtime = (
-            shifts * p.shift_latency_ns
+            device_shifts * p.shift_latency_ns
             + reads * p.read_latency_ns
             + writes * p.write_latency_ns
         )
+        histogram: tuple[tuple[int, int], ...] = ()
+        if self.fault is not None:
+            drifts = self._drifts[self._drifts != 0]
+            values, counts = np.unique(drifts, return_counts=True)
+            histogram = tuple(
+                (int(v), int(c)) for v, c in zip(values, counts)
+            )
         return SimReport(
             dbcs=self.config.dbcs,
             accesses=reads + writes,
@@ -139,11 +194,68 @@ class RTMController:
             runtime_ns=runtime,
             read_energy_pj=reads * p.read_energy_pj,
             write_energy_pj=writes * p.write_energy_pj,
-            shift_energy_pj=shifts * p.shift_energy_pj,
+            shift_energy_pj=device_shifts * p.shift_energy_pj,
             leakage_energy_pj=p.leakage_mw * runtime,
             area_mm2=p.area_mm2,
             per_dbc_shifts=tuple(int(s) for s in self._per_dbc_shifts),
+            fault_injected=fault_injected,
+            fault_misaligned=fault_misaligned,
+            fault_corrupted=self._corrupted,
+            scrub_shifts=scrub_shifts,
+            scrub_events=scrub_events,
+            drift_histogram=histogram,
         )
+
+    def _make_cursor(self) -> ShiftCursor:
+        """A cursor seeded with the controller's full carried state."""
+        return ShiftCursor(
+            num_dbcs=self.config.dbcs,
+            domains=self.config.domains_per_track,
+            ports=self.config.ports_per_track,
+            policy=self.port_policy,
+            warm_start=self.warm_start,
+            backend=self._backend,
+            init_offsets=self._offsets,
+            init_aligned=self._aligned,
+            fault=self.fault,
+            access_base=self._accesses_done,
+            init_drifts=self._drifts if self.fault is not None else None,
+        )
+
+    def _replay_scrubbed(
+        self, cursor: ShiftCursor, dbc: np.ndarray, slot: np.ndarray
+    ) -> None:
+        """Replay one compiled chunk, scrubbing at absolute S-boundaries.
+
+        The cadence counts *lifetime* accesses (``cursor.access_base +
+        cursor.accesses``), so splitting a trace into chunks — or across
+        ``execute`` calls — scrubs at exactly the same access indices as
+        one monolithic run: the scrubbed replay stays chunk-size
+        invariant like everything else in the engine.
+        """
+        interval = self.scrub_interval
+        if interval is None:
+            cursor.replay_chunk(dbc, slot)
+            return
+        n = int(dbc.size)
+        pos = 0
+        while pos < n:
+            done = cursor.access_base + cursor.accesses
+            take = min(n - pos, interval - done % interval)
+            cursor.replay_chunk(dbc[pos:pos + take], slot[pos:pos + take])
+            pos += take
+            if (cursor.access_base + cursor.accesses) % interval == 0:
+                cursor.scrub()
+
+    def _absorb_cursor(self, cursor: ShiftCursor) -> None:
+        """Carry a finished cursor's state back into the controller."""
+        self._offsets = cursor.offsets
+        self._aligned = cursor.aligned
+        self._per_dbc_shifts += cursor.per_dbc_shifts
+        self._accesses_done += cursor.accesses
+        if self.fault is not None:
+            self._drifts = np.asarray(cursor.drifts, dtype=np.int64)
+            self._corrupted = self._corrupted or cursor.corrupted
 
     def execute(self, trace: MemoryTrace) -> SimReport:
         """Run one trace to completion and report counters and energy.
@@ -154,6 +266,21 @@ class RTMController:
         if hasattr(trace, "chunks"):
             return self.execute_stream(trace)
         dbc, slot = self._compile(trace)
+        writes = trace.num_writes
+        reads = len(trace) - writes
+        if self.fault is not None:
+            # Faulted replay routes through a cursor so the scrubbing
+            # cadence (and the drift carry) is identical to streaming.
+            cursor = self._make_cursor()
+            self._replay_scrubbed(cursor, dbc, slot)
+            self._absorb_cursor(cursor)
+            return self._report(
+                reads, writes, cursor.shifts,
+                scrub_shifts=cursor.scrub_shifts,
+                scrub_events=cursor.scrub_events,
+                fault_injected=cursor.fault_injected,
+                fault_misaligned=cursor.fault_misaligned,
+            )
         result = self._backend.run(
             ShiftRequest(
                 dbc=dbc,
@@ -170,8 +297,7 @@ class RTMController:
         self._offsets = result.final_offsets
         self._aligned = result.final_aligned
         self._per_dbc_shifts += np.asarray(result.per_dbc_shifts, dtype=np.int64)
-        writes = trace.num_writes
-        reads = len(trace) - writes
+        self._accesses_done += result.accesses
         return self._report(reads, writes, result.shifts)
 
     def execute_stream(self, trace, chunk_hooks=()) -> SimReport:
@@ -197,44 +323,40 @@ class RTMController:
         (the census keeps nothing else), so placement coverage is
         checked once up front rather than per chunk.
         """
-        from repro.engine.cursor import ShiftCursor
-
         info = trace.sequence
         var_dbc, var_slot = self._variable_luts(info.variables)
         missing = np.flatnonzero(var_dbc < 0)
         if missing.size:
             name = info.variables[int(missing[0])]
             raise SimulationError(f"variable {name!r} has no location")
-        cursor = ShiftCursor(
-            num_dbcs=self.config.dbcs,
-            domains=self.config.domains_per_track,
-            ports=self.config.ports_per_track,
-            policy=self.port_policy,
-            warm_start=self.warm_start,
-            backend=self._backend,
-            init_offsets=self._offsets,
-            init_aligned=self._aligned,
-        )
+        cursor = self._make_cursor()
         reads = writes = 0
         for chunk in trace.chunks():
             codes = chunk.codes
             dbc, slot = var_dbc[codes], var_slot[codes]
-            cursor.replay_chunk(dbc, slot)
+            self._replay_scrubbed(cursor, dbc, slot)
             w = int(np.count_nonzero(chunk.writes))
             writes += w
             reads += int(codes.size) - w
             for hook in chunk_hooks:
                 hook(chunk, dbc, slot)
-        self._offsets = cursor.offsets
-        self._aligned = cursor.aligned
-        self._per_dbc_shifts += cursor.per_dbc_shifts
-        return self._report(reads, writes, cursor.shifts)
+        self._absorb_cursor(cursor)
+        return self._report(
+            reads, writes, cursor.shifts,
+            scrub_shifts=cursor.scrub_shifts,
+            scrub_events=cursor.scrub_events,
+            fault_injected=cursor.fault_injected,
+            fault_misaligned=cursor.fault_misaligned,
+        )
 
     def reset(self) -> None:
         """Return all DBCs to the unaligned initial state."""
         self._offsets = np.zeros(self.config.dbcs, dtype=np.int64)
         self._aligned = np.zeros(self.config.dbcs, dtype=bool)
         self._per_dbc_shifts = np.zeros(self.config.dbcs, dtype=np.int64)
+        self._drifts = np.zeros(self.config.dbcs, dtype=np.int64)
+        self._corrupted = False
+        self._accesses_done = 0
 
     @property
     def total_shifts(self) -> int:

@@ -33,6 +33,14 @@ class SimReport:
     leakage_energy_pj: float = 0.0
     area_mm2: float = 0.0
     per_dbc_shifts: tuple[int, ...] = field(default=())
+    # Fault observability (all zero/empty for clean simulation, so old
+    # store payloads and existing constructors keep working unchanged).
+    fault_injected: int = 0
+    fault_misaligned: int = 0
+    fault_corrupted: bool = False
+    scrub_shifts: int = 0
+    scrub_events: int = 0
+    drift_histogram: tuple[tuple[int, int], ...] = field(default=())
 
     # -- derived -------------------------------------------------------------
 
@@ -48,6 +56,11 @@ class SimReport:
     @property
     def shifts_per_access(self) -> float:
         return self.shifts / self.accesses if self.accesses else 0.0
+
+    @property
+    def misaligned_fraction(self) -> float:
+        """Fraction of accesses served with a nonzero position drift."""
+        return self.fault_misaligned / self.accesses if self.accesses else 0.0
 
     def energy_breakdown(self) -> dict[str, float]:
         """Named components as plotted in Fig. 5."""
@@ -71,6 +84,12 @@ class SimReport:
             per_dbc = tuple(
                 a + b for a, b in zip(self.per_dbc_shifts, other.per_dbc_shifts)
             )
+        histogram: tuple[tuple[int, int], ...] = ()
+        if self.drift_histogram or other.drift_histogram:
+            merged: dict[int, int] = {}
+            for drift, count in self.drift_histogram + other.drift_histogram:
+                merged[drift] = merged.get(drift, 0) + count
+            histogram = tuple(sorted(merged.items()))
         return SimReport(
             dbcs=self.dbcs,
             accesses=self.accesses + other.accesses,
@@ -84,6 +103,12 @@ class SimReport:
             leakage_energy_pj=self.leakage_energy_pj + other.leakage_energy_pj,
             area_mm2=self.area_mm2 or other.area_mm2,
             per_dbc_shifts=per_dbc,
+            fault_injected=self.fault_injected + other.fault_injected,
+            fault_misaligned=self.fault_misaligned + other.fault_misaligned,
+            fault_corrupted=self.fault_corrupted or other.fault_corrupted,
+            scrub_shifts=self.scrub_shifts + other.scrub_shifts,
+            scrub_events=self.scrub_events + other.scrub_events,
+            drift_histogram=histogram,
         )
 
     def __radd__(self, other: object) -> "SimReport":
@@ -92,10 +117,20 @@ class SimReport:
         return self.__add__(other)  # type: ignore[arg-type]
 
     def summary(self) -> str:
-        return (
+        text = (
             f"{self.accesses} accesses ({self.reads} R / {self.writes} W), "
             f"{self.shifts} shifts, {self.runtime_ns:.1f} ns, "
             f"{self.total_energy_pj:.1f} pJ "
             f"(leak {self.leakage_energy_pj:.1f} / rw {self.rw_energy_pj:.1f} / "
             f"shift {self.shift_energy_pj:.1f})"
         )
+        if self.fault_injected or self.fault_misaligned or self.scrub_events:
+            text += (
+                f"; faults: {self.fault_injected} injected, "
+                f"{self.fault_misaligned} misaligned "
+                f"({self.misaligned_fraction:.1%}), "
+                f"{self.scrub_events} scrubs (+{self.scrub_shifts} shifts)"
+            )
+            if self.fault_corrupted:
+                text += ", CORRUPTED"
+        return text

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable
 
+from repro.engine import FaultModel
 from repro.rtm.controller import RTMController
 from repro.rtm.geometry import RTMConfig
 from repro.rtm.ports import PortPolicy
@@ -27,11 +28,14 @@ def simulate(
     port_policy: PortPolicy = PortPolicy.NEAREST,
     warm_start: bool = True,
     backend: object = None,
+    fault: FaultModel | None = None,
+    scrub_interval: int | None = None,
 ) -> SimReport:
     """Simulate a single trace; see :class:`RTMController` for semantics."""
     controller = RTMController(
         config, placement, params=params, port_policy=port_policy,
-        warm_start=warm_start, backend=backend,
+        warm_start=warm_start, backend=backend, fault=fault,
+        scrub_interval=scrub_interval,
     )
     return controller.execute(trace)
 
@@ -43,6 +47,8 @@ def simulate_program(
     port_policy: PortPolicy = PortPolicy.NEAREST,
     warm_start: bool = True,
     backend: object = None,
+    fault: FaultModel | None = None,
+    scrub_interval: int | None = None,
 ) -> SimReport:
     """Simulate ``(trace, placement)`` pairs independently and sum reports.
 
@@ -55,6 +61,7 @@ def simulate_program(
         report = simulate(
             trace, placement, config, params=params,
             port_policy=port_policy, warm_start=warm_start, backend=backend,
+            fault=fault, scrub_interval=scrub_interval,
         )
         total = report if total is None else total + report
     if total is None:

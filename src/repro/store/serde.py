@@ -21,6 +21,9 @@ def cell_to_payload(cell: CellResult) -> str:
     """Serialize one cell to its canonical JSON payload."""
     data = asdict(cell)
     data["report"]["per_dbc_shifts"] = list(cell.report.per_dbc_shifts)
+    data["report"]["drift_histogram"] = [
+        list(pair) for pair in cell.report.drift_histogram
+    ]
     return json.dumps(data, sort_keys=True, separators=(",", ":"))
 
 
@@ -29,4 +32,10 @@ def cell_from_payload(payload: str) -> CellResult:
     data = json.loads(payload)
     report = data.pop("report")
     report["per_dbc_shifts"] = tuple(report["per_dbc_shifts"])
+    # ``.get``: payloads written before the fault axis carry no
+    # histogram — SimReport's defaults cover the other fault fields.
+    report["drift_histogram"] = tuple(
+        (int(drift), int(count))
+        for drift, count in report.get("drift_histogram", ())
+    )
     return CellResult(report=SimReport(**report), **data)

@@ -29,6 +29,20 @@ from repro.errors import ExperimentError
 from repro.store import schema
 from repro.store.serde import cell_from_payload, cell_to_payload
 
+#: Write-transaction retries after sqlite reports the file locked. The
+#: busy timeout already absorbs ordinary contention; retries cover the
+#: rarer case where the timeout itself expires (e.g. a sibling shard
+#: holding the lock through a slow checkpoint on networked storage).
+_LOCK_RETRIES = 5
+#: First retry delay in seconds; doubles each attempt (bounded, ~1.5 s
+#: total across all five retries).
+_LOCK_BACKOFF_S = 0.05
+
+
+def _is_locked(exc: sqlite3.OperationalError) -> bool:
+    msg = str(exc).lower()
+    return "locked" in msg or "busy" in msg
+
 
 class ExperimentStore:
     """Persistent cache of matrix cells plus run provenance manifests."""
@@ -73,6 +87,35 @@ class ExperimentStore:
                 ("created_at", repr(time.time())),
             )
 
+    def _write_with_retry(self, what: str, write) -> None:
+        """Run one write transaction, retrying when sqlite holds the lock.
+
+        ``write`` is re-invoked from scratch on every attempt (each call
+        is one self-contained ``with self._conn`` transaction, so a
+        failed attempt leaves nothing behind). Backoff doubles per
+        retry; exhaustion raises a pointed :class:`ExperimentError`
+        instead of leaking the raw sqlite exception.
+        """
+        delay = _LOCK_BACKOFF_S
+        for attempt in range(_LOCK_RETRIES + 1):
+            try:
+                write()
+                return
+            except sqlite3.OperationalError as exc:
+                if not _is_locked(exc) or attempt == _LOCK_RETRIES:
+                    if _is_locked(exc):
+                        raise ExperimentError(
+                            f"store {self._path} stayed locked while "
+                            f"writing {what} ({_LOCK_RETRIES + 1} attempts "
+                            f"over ~{delay - _LOCK_BACKOFF_S:.2f}s): "
+                            f"another long-lived writer holds it — point "
+                            f"each shard at its own store file and merge "
+                            f"them afterwards (repro-store merge)"
+                        ) from exc
+                    raise
+                time.sleep(delay)
+                delay *= 2
+
     def _schema_version(self) -> int | None:
         try:
             row = self._conn.execute(
@@ -99,14 +142,17 @@ class ExperimentStore:
 
     def put_cell(self, key: str, cell, run_id: str | None = None) -> None:
         """Persist one cell atomically; content keys make re-puts no-ops."""
-        with self._conn:
-            self._conn.execute(
-                "INSERT OR IGNORE INTO cells "
-                "(key, benchmark, policy, dbcs, payload, run_id, created_at) "
-                "VALUES (?, ?, ?, ?, ?, ?, ?)",
-                (key, cell.benchmark, cell.policy, cell.dbcs,
-                 cell_to_payload(cell), run_id, time.time()),
-            )
+        def write() -> None:
+            with self._conn:
+                self._conn.execute(
+                    "INSERT OR IGNORE INTO cells "
+                    "(key, benchmark, policy, dbcs, payload, run_id, created_at) "
+                    "VALUES (?, ?, ?, ?, ?, ?, ?)",
+                    (key, cell.benchmark, cell.policy, cell.dbcs,
+                     cell_to_payload(cell), run_id, time.time()),
+                )
+
+        self._write_with_retry(f"cell {key[:12]}", write)
 
     def __len__(self) -> int:
         return self._conn.execute("SELECT COUNT(*) FROM cells").fetchone()[0]
@@ -126,12 +172,16 @@ class ExperimentStore:
     def begin_run(self, manifest: dict) -> str:
         """Open a provenance record; returns the new run id."""
         run_id = uuid.uuid4().hex
-        with self._conn:
-            self._conn.execute(
-                "INSERT INTO runs (run_id, status, started_at, manifest) "
-                "VALUES (?, 'running', ?, ?)",
-                (run_id, time.time(), json.dumps(manifest, sort_keys=True)),
-            )
+
+        def write() -> None:
+            with self._conn:
+                self._conn.execute(
+                    "INSERT INTO runs (run_id, status, started_at, manifest) "
+                    "VALUES (?, 'running', ?, ?)",
+                    (run_id, time.time(), json.dumps(manifest, sort_keys=True)),
+                )
+
+        self._write_with_retry(f"run manifest {run_id[:12]}", write)
         return run_id
 
     def finish_run(
@@ -145,14 +195,17 @@ class ExperimentStore:
         hits_store: int | None = None,
         computed: int | None = None,
     ) -> None:
-        with self._conn:
-            self._conn.execute(
-                "UPDATE runs SET status = ?, finished_at = ?, wall_time_s = ?, "
-                "cells_total = ?, hits_memory = ?, hits_store = ?, computed = ? "
-                "WHERE run_id = ?",
-                (status, time.time(), wall_time_s, cells_total,
-                 hits_memory, hits_store, computed, run_id),
-            )
+        def write() -> None:
+            with self._conn:
+                self._conn.execute(
+                    "UPDATE runs SET status = ?, finished_at = ?, "
+                    "wall_time_s = ?, cells_total = ?, hits_memory = ?, "
+                    "hits_store = ?, computed = ? WHERE run_id = ?",
+                    (status, time.time(), wall_time_s, cells_total,
+                     hits_memory, hits_store, computed, run_id),
+                )
+
+        self._write_with_retry(f"run record {run_id[:12]}", write)
 
     def runs(self) -> list[dict]:
         """All run manifests, most recent first, as plain dicts."""

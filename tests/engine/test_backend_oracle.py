@@ -15,6 +15,7 @@ import pytest
 
 from repro.engine import (
     OPTIONAL_BACKEND_EXTRAS,
+    FaultModel,
     PortPolicy,
     ShiftCursor,
     ShiftRequest,
@@ -29,6 +30,24 @@ ALL_BACKENDS = sorted(set(available_backends()) | set(OPTIONAL_BACKEND_EXTRAS))
 
 PORTS = (1, 2, 4, 8)
 CHUNK_SIZES = (1, 7, 4096)
+
+#: Fault configurations the oracle matrix sweeps: clean, the rate-0
+#: model (must normalize to the clean path), light and heavy uniform
+#: rates, and a per-DBC skew including a fault-immune DBC.
+FAULT_MODELS = (
+    None,
+    FaultModel(rate=0.0, seed=3),
+    FaultModel(rate=0.01, seed=3),
+    FaultModel(rate=0.1, seed=3),
+    FaultModel(rate=0.05, seed=9, dbc_skew=(0.5, 2.0, 0.0)),
+)
+
+
+def _fault_id(model):
+    if model is None:
+        return "clean"
+    skew = "+skew" if model.dbc_skew is not None else ""
+    return f"rate{model.rate:g}{skew}"
 
 
 @pytest.fixture(params=ALL_BACKENDS)
@@ -109,6 +128,74 @@ def test_cursor_chunk_size_invariance(backend, chunk, warm_start):
                           monolithic.final_offsets)
     assert np.array_equal(accumulated.final_aligned,
                           monolithic.final_aligned)
+
+
+@pytest.mark.parametrize("fault", FAULT_MODELS, ids=_fault_id)
+@pytest.mark.parametrize("ports", PORTS)
+def test_faulted_replay_matches_reference(backend, ports, fault):
+    """Fault draws are backend-independent: bit-identical observations.
+
+    ``ShiftResult.__eq__`` covers the attached ``FaultObservation``
+    (injected/misaligned counters, final drifts, corruption flag), so
+    one ``==`` pins the whole faulted result, counters and state alike.
+    """
+    oracle = ReferenceBackend()
+    for seed in range(2):
+        base = random_request(seed, ports, True)
+        request = ShiftRequest(
+            dbc=base.dbc, slot=base.slot, num_dbcs=base.num_dbcs,
+            domains=base.domains, ports=ports, warm_start=True,
+            fault=fault,
+        )
+        assert backend.run(request) == oracle.run(request)
+
+
+@pytest.mark.parametrize("fault", [m for m in FAULT_MODELS if m is not None],
+                         ids=_fault_id)
+@pytest.mark.parametrize("chunk", CHUNK_SIZES)
+def test_faulted_cursor_chunk_size_invariance(backend, chunk, fault):
+    """Fault draws key on the absolute access index, so any chunking of
+    the same trace sees the same faults as one monolithic replay."""
+    base = random_request(42, 4, True, accesses=600)
+    request = ShiftRequest(
+        dbc=base.dbc, slot=base.slot, num_dbcs=base.num_dbcs,
+        domains=base.domains, ports=4, warm_start=True, fault=fault,
+    )
+    monolithic = backend.run(request)
+    cursor = ShiftCursor(
+        num_dbcs=request.num_dbcs, domains=request.domains, ports=4,
+        warm_start=True, backend=backend, fault=fault,
+    )
+    for start in range(0, request.accesses, chunk):
+        cursor.replay_chunk(request.dbc[start:start + chunk],
+                            request.slot[start:start + chunk])
+    accumulated = cursor.result()
+    assert accumulated == monolithic
+    if fault.is_null:
+        assert accumulated.faults is None
+    else:
+        assert accumulated.faults is not None
+        assert cursor.fault_injected == monolithic.faults.injected
+        assert cursor.fault_misaligned == monolithic.faults.misaligned
+        assert np.array_equal(cursor.drifts, monolithic.faults.final_drifts)
+
+
+def test_rate_zero_model_is_clean_path(backend):
+    """A rate-0 model normalizes away: the request IS the clean request."""
+    base = random_request(7, 2, True)
+    clean = ShiftRequest(
+        dbc=base.dbc, slot=base.slot, num_dbcs=base.num_dbcs,
+        domains=base.domains, ports=2, warm_start=True,
+    )
+    zeroed = ShiftRequest(
+        dbc=base.dbc, slot=base.slot, num_dbcs=base.num_dbcs,
+        domains=base.domains, ports=2, warm_start=True,
+        fault=FaultModel(rate=0.0, seed=123),
+    )
+    assert zeroed.fault is None
+    result = backend.run(zeroed)
+    assert result == backend.run(clean)
+    assert result.faults is None
 
 
 def test_empty_chunk_is_identity(backend):

@@ -1,6 +1,7 @@
 """Unit tests for the library-level ablation experiments."""
 
 from repro.eval.ablations import (
+    ablation_faults,
     ablation_multiset,
     ablation_ports,
     ablation_swapping,
@@ -68,6 +69,43 @@ class TestDbcSweep:
         result = ablation_dbc_sweep(TINY, benchmarks=("cc65",),
                                     dbc_counts=(3, 4))  # 3 doesn't divide
         assert [row[0] for row in result.rows] == [4]
+
+
+class TestFaults:
+    def test_structure_and_ranking(self):
+        result = ablation_faults(TINY, benchmarks=("cc65",),
+                                 rates=(0.0, 0.05))
+        assert len(result.rows) == 2 * 3  # rates x policies
+        ranks = sorted(
+            int(v) for k, v in result.summary.items() if k.startswith("rank_")
+        )
+        assert ranks == [1, 2, 3]
+        assert result.summary["top_rate"] == 0.05
+        assert "Most graceful" in result.notes
+
+    def test_clean_rows_observe_nothing(self):
+        result = ablation_faults(TINY, benchmarks=("cc65",),
+                                 rates=(0.0, 0.05))
+        clean = [r for r in result.rows if r[0] == "0"]
+        assert clean and all(
+            r[3] == 0 and r[4] == 0 and r[6] == "no" for r in clean
+        )
+
+    def test_faults_never_change_charged_shifts(self):
+        """The believed-dynamics invariance, observed end to end."""
+        result = ablation_faults(TINY, benchmarks=("jpeg",),
+                                 rates=(0.0, 0.1))
+        by_policy = {}
+        for rate, policy, shifts, *_rest in result.rows:
+            by_policy.setdefault(policy, set()).add(shifts)
+        for policy, shift_counts in by_policy.items():
+            assert len(shift_counts) == 1, policy
+
+    def test_scrubbing_charges_extra_shifts(self):
+        result = ablation_faults(TINY, benchmarks=("cc65",),
+                                 rates=(0.05,), scrub_interval=25)
+        assert any(row[3] > 0 for row in result.rows)  # scrub shifts
+        assert "scrub every 25" in result.title
 
 
 class TestGraphDot:

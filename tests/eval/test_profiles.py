@@ -54,6 +54,44 @@ class TestEnvSelection:
             profile_from_env()
 
 
+class TestFaultKnobs:
+    def test_defaults_are_clean(self):
+        assert QUICK_PROFILE.fault_rate == 0.0
+        assert QUICK_PROFILE.scrub_interval is None
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_RATE", "0.01")
+        monkeypatch.setenv("REPRO_SCRUB_INTERVAL", "500")
+        profile = profile_from_env()
+        assert profile.fault_rate == 0.01
+        assert profile.scrub_interval == 500
+
+    @pytest.mark.parametrize("rate", ["lots", "-0.1", "1.5", "nan", "inf"])
+    def test_env_rejects_bad_rate(self, monkeypatch, rate):
+        monkeypatch.setenv("REPRO_FAULT_RATE", rate)
+        with pytest.raises(ExperimentError, match="REPRO_FAULT_RATE"):
+            profile_from_env()
+
+    @pytest.mark.parametrize("interval", ["soon", "0", "-5"])
+    def test_env_rejects_bad_interval(self, monkeypatch, interval):
+        monkeypatch.setenv("REPRO_SCRUB_INTERVAL", interval)
+        with pytest.raises(ExperimentError, match="REPRO_SCRUB_INTERVAL"):
+            profile_from_env()
+
+    def test_env_scrub_alone_passes_parse(self, monkeypatch):
+        """scrub-without-fault is rejected downstream (CLI/run_matrix),
+        not here: the CLI may still supply --fault-rate on top."""
+        monkeypatch.setenv("REPRO_SCRUB_INTERVAL", "100")
+        assert profile_from_env().scrub_interval == 100
+
+    def test_describe_mentions_faults(self):
+        from dataclasses import replace
+        faulted = replace(QUICK_PROFILE, fault_rate=0.01, scrub_interval=200)
+        assert "fault rate 0.01" in faulted.describe()
+        assert "scrub every 200" in faulted.describe()
+        assert "fault" not in QUICK_PROFILE.describe()
+
+
 class TestSearchScale:
     def test_default_is_one(self):
         assert QUICK_PROFILE.search_scale == 1.0

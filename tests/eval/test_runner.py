@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core.policies import get_policy
+from repro.errors import ExperimentError
 from repro.eval.profiles import EvalProfile
 from repro.eval.runner import (
     build_policies,
@@ -177,9 +178,9 @@ class TestCellCache:
         import repro.eval.runner as runner_module
         real = run_policy_on_program
 
-        def spy(program, policy, config, rng=None, backend=None):
+        def spy(program, policy, config, **kwargs):
             calls.append(policy.name)
-            return real(program, policy, config, rng=rng, backend=backend)
+            return real(program, policy, config, **kwargs)
 
         monkeypatch.setattr(runner_module, "run_policy_on_program", spy)
         run_matrix(("AFD-OFU", "DMA-SR"), TINY, configs=self.CONFIGS,
@@ -201,3 +202,46 @@ class TestCellCache:
         monkeypatch.setattr(runner_module, "run_policy_on_program", spy)
         run_matrix(("DMA-SR",), TINY, configs=self.CONFIGS, use_cache=False)
         assert calls  # recomputed
+
+
+class TestFaultedMatrix:
+    CONFIGS = iso_capacity_sweep(dbc_counts=(2, 4))
+
+    def _faulted(self, **kw):
+        from dataclasses import replace
+
+        return replace(TINY, fault_rate=0.05, **kw)
+
+    def test_workers_do_not_change_faulted_results(self):
+        profile = self._faulted(scrub_interval=50)
+        serial = run_matrix(("DMA-SR",), profile, configs=self.CONFIGS,
+                            workers=1, use_cache=False)
+        parallel = run_matrix(("DMA-SR",), profile, configs=self.CONFIGS,
+                              workers=2, use_cache=False)
+        assert set(serial) == set(parallel)
+        for key, cell in serial.items():
+            assert parallel[key].report == cell.report
+        assert any(c.report.fault_injected for c in serial.values())
+
+    def test_backends_agree_on_faulted_cells(self):
+        profile = self._faulted()
+        ref = run_matrix(("DMA-SR",), profile, configs=self.CONFIGS,
+                         backend="reference", use_cache=False)
+        vec = run_matrix(("DMA-SR",), profile, configs=self.CONFIGS,
+                         backend="numpy", use_cache=False)
+        for key, cell in ref.items():
+            assert vec[key].report == cell.report
+
+    def test_invalid_fault_rate_fails_pointedly(self):
+        from dataclasses import replace
+
+        with pytest.raises(ExperimentError, match="fault_rate"):
+            run_matrix(("DMA-SR",), replace(TINY, fault_rate=2.0),
+                       configs=self.CONFIGS, use_cache=False)
+
+    def test_scrub_without_fault_fails_pointedly(self):
+        from dataclasses import replace
+
+        with pytest.raises(ExperimentError, match="scrub_interval"):
+            run_matrix(("DMA-SR",), replace(TINY, scrub_interval=10),
+                       configs=self.CONFIGS, use_cache=False)

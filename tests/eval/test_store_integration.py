@@ -90,12 +90,11 @@ class TestResume:
         path = tmp_path / "s.db"
         calls = []
 
-        def dies_after_three(program, policy, config, rng=None, backend=None):
+        def dies_after_three(program, policy, config, **kwargs):
             if len(calls) == 3:
                 raise KeyboardInterrupt("simulated kill")
             calls.append(program.name)
-            return run_policy_on_program(program, policy, config, rng=rng,
-                                         backend=backend)
+            return run_policy_on_program(program, policy, config, **kwargs)
 
         monkeypatch.setattr(runner_module, "run_policy_on_program",
                             dies_after_three)
@@ -250,3 +249,52 @@ class TestExperimentRegeneration:
     def test_populate_matrix_rejects_non_matrix_experiment(self):
         with pytest.raises(ExperimentError, match="not a matrix experiment"):
             populate_matrix("table1", TINY)
+
+
+class TestFaultedCellKeys:
+    def test_faulted_and_clean_cells_coexist_and_resume_warm(self, tmp_path):
+        """Fault params are content-addressed: clean and faulted sweeps
+        share one store under distinct keys, and each resumes 100% warm."""
+        from dataclasses import replace
+
+        clear_cell_cache()
+        path = tmp_path / "s.db"
+        clean = run_matrix(("DMA-SR",), TINY, configs=CONFIGS, store=path)
+        faulted_profile = replace(TINY, fault_rate=0.05)
+        faulted = run_matrix(("DMA-SR",), faulted_profile, configs=CONFIGS,
+                             store=path)
+        stats = last_matrix_stats()
+        assert stats.computed == 4  # no false hits on the clean cells
+        with ExperimentStore(path) as s:
+            assert len(s) == 8  # 4 clean + 4 faulted rows
+        assert all(c.report.fault_injected == 0 for c in clean.values())
+        assert any(c.report.fault_injected > 0 for c in faulted.values())
+
+        clear_cell_cache()
+        again = run_matrix(("DMA-SR",), TINY, configs=CONFIGS, store=path)
+        stats = last_matrix_stats()
+        assert (stats.hits_store, stats.computed) == (4, 0)
+        assert again == clean
+        clear_cell_cache()
+        again = run_matrix(("DMA-SR",), faulted_profile, configs=CONFIGS,
+                           store=path)
+        stats = last_matrix_stats()
+        assert (stats.hits_store, stats.computed) == (4, 0)
+        assert again == faulted  # bit-identical, drift histogram included
+
+    def test_fault_params_distinguish_keys(self, tmp_path):
+        """Rate, seed-bearing model and scrub cadence all key separately."""
+        from dataclasses import replace
+
+        clear_cell_cache()
+        path = tmp_path / "s.db"
+        variants = (
+            replace(TINY, fault_rate=0.05),
+            replace(TINY, fault_rate=0.1),
+            replace(TINY, fault_rate=0.05, scrub_interval=50),
+        )
+        for profile in variants:
+            run_matrix(("DMA-SR",), profile, configs=CONFIGS, store=path)
+            assert last_matrix_stats().computed == 4
+        with ExperimentStore(path) as s:
+            assert len(s) == 12

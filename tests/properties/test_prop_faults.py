@@ -1,0 +1,94 @@
+"""Property-based invariants of the fault-injection layer.
+
+Two contracts the whole robustness axis rests on:
+
+* ``fault_rate=0`` is *exactly* the clean path — a rate-0 model
+  normalizes away and the result compares bit-equal to a request with
+  no model attached, on every backend.
+* Faults never touch the believed dynamics: charged shift counters and
+  final believed offsets are identical to the clean replay, and the
+  total drift magnitude is bounded by the number of injected faults
+  (each fault moves exactly one DBC's drift by exactly one).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import FaultModel, ShiftRequest, available_backends, get_backend
+
+
+def _request(dbc, slot, num_dbcs, domains, ports, fault):
+    return ShiftRequest(
+        dbc=np.asarray(dbc, dtype=np.int64),
+        slot=np.asarray(slot, dtype=np.int64),
+        num_dbcs=num_dbcs,
+        domains=domains,
+        ports=ports,
+        fault=fault,
+    )
+
+
+def _backends():
+    return [get_backend(name) for name in available_backends()]
+
+
+@st.composite
+def traces(draw, max_len=120, num_dbcs=4, domains=16):
+    n = draw(st.integers(0, max_len))
+    dbc = draw(st.lists(st.integers(0, num_dbcs - 1),
+                        min_size=n, max_size=n))
+    slot = draw(st.lists(st.integers(0, domains - 1),
+                         min_size=n, max_size=n))
+    return dbc, slot
+
+
+@given(trace=traces(), seed=st.integers(0, 2**16), ports=st.integers(1, 3))
+@settings(max_examples=60, deadline=None)
+def test_rate_zero_equals_no_model_on_every_backend(trace, seed, ports):
+    dbc, slot = trace
+    zeroed = _request(dbc, slot, 4, 16, ports, FaultModel(rate=0.0, seed=seed))
+    clean = _request(dbc, slot, 4, 16, ports, None)
+    assert zeroed.fault is None
+    for backend in _backends():
+        result = backend.run(zeroed)
+        assert result == backend.run(clean)
+        assert result.faults is None
+
+
+@given(
+    trace=traces(),
+    rate=st.floats(0.001, 1.0),
+    seed=st.integers(0, 2**16),
+    ports=st.integers(1, 3),
+)
+@settings(max_examples=60, deadline=None)
+def test_faults_never_touch_believed_dynamics(trace, rate, seed, ports):
+    dbc, slot = trace
+    faulted = _request(dbc, slot, 4, 16, ports, FaultModel(rate=rate, seed=seed))
+    clean = _request(dbc, slot, 4, 16, ports, None)
+    backend = get_backend("numpy")
+    f, c = backend.run(faulted), backend.run(clean)
+    assert f.shifts == c.shifts
+    assert f.per_dbc_shifts == c.per_dbc_shifts
+    assert np.array_equal(f.final_offsets, c.final_offsets)
+    assert np.array_equal(f.final_aligned, c.final_aligned)
+
+
+@given(
+    trace=traces(),
+    rate=st.floats(0.0, 1.0),
+    seed=st.integers(0, 2**16),
+)
+@settings(max_examples=60, deadline=None)
+def test_drift_bounded_by_injected_faults(trace, rate, seed):
+    dbc, slot = trace
+    request = _request(dbc, slot, 4, 16, 1, FaultModel(rate=rate, seed=seed))
+    result = get_backend("numpy").run(request)
+    if result.faults is None:  # rate 0 normalized away
+        assert rate == 0.0
+        return
+    obs = result.faults
+    assert int(np.abs(obs.final_drifts).sum()) <= obs.injected
+    assert obs.misaligned <= len(dbc)
+    assert obs.injected <= len(dbc)

@@ -172,3 +172,79 @@ class TestSimReport:
     def test_simulate_program_empty_rejected(self, config):
         with pytest.raises(ValueError):
             simulate_program([], config)
+
+
+class TestFaultedSimulation:
+    @pytest.fixture
+    def fault(self):
+        from repro.engine import FaultModel
+
+        return FaultModel(rate=0.2, seed=3)
+
+    def test_faults_never_change_charged_counters(
+        self, config, fig3_trace, fig3_placement, fault
+    ):
+        """Open-loop shifting: the controller charges what it believes."""
+        clean = simulate(fig3_trace, fig3_placement, config)
+        faulted = simulate(fig3_trace, fig3_placement, config, fault=fault)
+        assert faulted.shifts == clean.shifts == 39
+        assert faulted.per_dbc_shifts == clean.per_dbc_shifts
+        assert faulted.fault_injected > 0
+        assert faulted.fault_misaligned > 0
+        assert 0.0 < faulted.misaligned_fraction <= 1.0
+
+    def test_rate_zero_report_is_bit_identical(
+        self, config, fig3_trace, fig3_placement
+    ):
+        from repro.engine import FaultModel
+
+        clean = simulate(fig3_trace, fig3_placement, config)
+        zeroed = simulate(fig3_trace, fig3_placement, config,
+                          fault=FaultModel(rate=0.0, seed=9))
+        assert zeroed == clean
+
+    def test_split_execution_draws_same_faults(
+        self, config, fig3_trace, fig3_placement, fault
+    ):
+        """Fault draws key on the controller's lifetime access index."""
+        ctrl = RTMController(config, fig3_placement, fault=fault)
+        whole = ctrl.execute(fig3_trace) + ctrl.execute(fig3_trace)
+        ctrl2 = RTMController(config, fig3_placement, fault=fault)
+        again = ctrl2.execute(fig3_trace) + ctrl2.execute(fig3_trace)
+        assert whole == again
+        assert whole.fault_injected > 0
+
+    def test_scrubbing_charges_device_shifts(
+        self, config, fig3_trace, fig3_placement, fault
+    ):
+        plain = simulate(fig3_trace, fig3_placement, config, fault=fault)
+        scrubbed = simulate(fig3_trace, fig3_placement, config, fault=fault,
+                            scrub_interval=5)
+        # Placement traffic is untouched; the scrubs are priced on top.
+        assert scrubbed.shifts == plain.shifts
+        assert scrubbed.scrub_events > 0
+        assert scrubbed.scrub_shifts > 0
+        assert scrubbed.runtime_ns > plain.runtime_ns
+        assert scrubbed.shift_energy_pj > plain.shift_energy_pj
+
+    def test_scrub_without_fault_rejected(self, config, fig3_placement):
+        with pytest.raises(SimulationError, match="fault"):
+            RTMController(config, fig3_placement, scrub_interval=10)
+
+    def test_report_surfaces_drift_histogram(
+        self, config, fig3_trace, fig3_placement, fault
+    ):
+        report = simulate(fig3_trace, fig3_placement, config, fault=fault)
+        counted = sum(c for _d, c in report.drift_histogram)
+        assert 0 < counted <= config.dbcs
+        assert all(d != 0 for d, _c in report.drift_histogram)
+        assert "faults:" in report.summary()
+
+    def test_reset_clears_fault_state(
+        self, config, fig3_trace, fig3_placement, fault
+    ):
+        ctrl = RTMController(config, fig3_placement, fault=fault)
+        first = ctrl.execute(fig3_trace)
+        ctrl.reset()
+        again = ctrl.execute(fig3_trace)
+        assert again == first

@@ -19,7 +19,8 @@ from repro.store import schema
 from repro.errors import ExperimentError
 
 
-def make_cell(benchmark="adpcm", policy="DMA-SR", dbcs=4, shifts=123) -> CellResult:
+def make_cell(benchmark="adpcm", policy="DMA-SR", dbcs=4, shifts=123,
+              **report_fields) -> CellResult:
     """A cell with awkward floats to exercise exact round-tripping."""
     report = SimReport(
         dbcs=dbcs, accesses=100, reads=75, writes=25, shifts=shifts,
@@ -30,6 +31,7 @@ def make_cell(benchmark="adpcm", policy="DMA-SR", dbcs=4, shifts=123) -> CellRes
         leakage_energy_pj=8.94,
         area_mm2=0.0186,
         per_dbc_shifts=(40, 30, 33, 20),
+        **report_fields,
     )
     return CellResult(benchmark=benchmark, policy=policy, dbcs=dbcs,
                       shifts=shifts, report=report)
@@ -47,6 +49,28 @@ class TestSerde:
         cell = make_cell()
         assert cell_to_payload(cell) == cell_to_payload(cell)
         assert json.loads(cell_to_payload(cell))["benchmark"] == "adpcm"
+
+    def test_faulted_report_roundtrips(self):
+        cell = make_cell(
+            fault_injected=7, fault_misaligned=31, fault_corrupted=True,
+            scrub_shifts=12, scrub_events=3,
+            drift_histogram=((-2, 1), (1, 2)),
+        )
+        again = cell_from_payload(cell_to_payload(cell))
+        assert again == cell
+        assert again.report.drift_histogram == ((-2, 1), (1, 2))
+        assert isinstance(again.report.drift_histogram[0], tuple)
+
+    def test_prefault_payload_still_loads(self):
+        """Payloads written before the fault axis deserialize cleanly."""
+        data = json.loads(cell_to_payload(make_cell()))
+        for field in ("drift_histogram", "fault_injected", "fault_misaligned",
+                      "fault_corrupted", "scrub_shifts", "scrub_events"):
+            data["report"].pop(field, None)
+        again = cell_from_payload(json.dumps(data))
+        assert again == make_cell()
+        assert again.report.drift_histogram == ()
+        assert again.report.fault_injected == 0
 
 
 class TestStoreBasics:
@@ -215,6 +239,91 @@ class TestMaintenance:
             assert merged.merge_from(b_path) == 0  # idempotent
             assert len(merged) == 3
             assert merged.get_cell("kb") == cell_b
+
+
+class _LockedProxy:
+    """A connection that reports 'database is locked' for the first
+    ``failures`` write statements, then delegates to the real one —
+    the classic transient-lock scenario the retry loop must absorb."""
+
+    def __init__(self, conn, failures, message="database is locked"):
+        self._conn = conn
+        self._failures = failures
+        self._message = message
+        self.write_attempts = 0
+
+    def __enter__(self):
+        return self._conn.__enter__()
+
+    def __exit__(self, *exc):
+        return self._conn.__exit__(*exc)
+
+    def execute(self, sql, *args):
+        if sql.lstrip().upper().startswith(("INSERT", "UPDATE")):
+            self.write_attempts += 1
+            if self.write_attempts <= self._failures:
+                import sqlite3
+
+                raise sqlite3.OperationalError(self._message)
+        return self._conn.execute(sql, *args)
+
+    def __getattr__(self, name):
+        return getattr(self._conn, name)
+
+
+class TestLockRetry:
+    @pytest.fixture(autouse=True)
+    def _no_backoff_sleep(self, monkeypatch):
+        from repro.store import store as store_module
+
+        monkeypatch.setattr(store_module, "_LOCK_BACKOFF_S", 0.0)
+
+    def test_put_cell_retries_through_transient_lock(self, tmp_path):
+        from repro.store.store import _LOCK_RETRIES
+
+        with ExperimentStore(tmp_path / "s.db") as store:
+            proxy = _LockedProxy(store._conn, failures=_LOCK_RETRIES)
+            store._conn = proxy
+            store.put_cell("k1", make_cell())  # must absorb every failure
+            store._conn = proxy._conn
+            assert proxy.write_attempts == _LOCK_RETRIES + 1
+            assert store.get_cell("k1") == make_cell()
+
+    def test_exhausted_retries_raise_pointed_error(self, tmp_path):
+        from repro.store.store import _LOCK_RETRIES
+
+        path = tmp_path / "s.db"
+        with ExperimentStore(path) as store:
+            proxy = _LockedProxy(store._conn, failures=_LOCK_RETRIES + 1)
+            store._conn = proxy
+            with pytest.raises(ExperimentError, match="stayed locked"):
+                store.put_cell("k1", make_cell())
+            assert proxy.write_attempts == _LOCK_RETRIES + 1
+            store._conn = proxy._conn
+
+    def test_non_lock_errors_propagate_immediately(self, tmp_path):
+        import sqlite3
+
+        with ExperimentStore(tmp_path / "s.db") as store:
+            proxy = _LockedProxy(store._conn, failures=99,
+                                 message="no such table: cells")
+            store._conn = proxy
+            with pytest.raises(sqlite3.OperationalError, match="no such table"):
+                store.put_cell("k1", make_cell())
+            assert proxy.write_attempts == 1  # no retry on real errors
+            store._conn = proxy._conn
+
+    def test_begin_and_finish_run_retry(self, tmp_path):
+        with ExperimentStore(tmp_path / "s.db") as store:
+            proxy = _LockedProxy(store._conn, failures=2)
+            store._conn = proxy
+            run_id = store.begin_run({"k": "v"})
+            proxy.write_attempts = 0
+            proxy._failures = 2
+            store.finish_run(run_id)
+            store._conn = proxy._conn
+            (run,) = store.runs()
+            assert run["status"] == "complete"
 
 
 class TestConcurrentWriters:

@@ -131,6 +131,43 @@ class TestExperimentStoreFlags:
                              "--shard", "2/2"])
 
 
+class TestFaultFlags:
+    @pytest.fixture(autouse=True)
+    def smoke_profile(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "smoke")
+
+    def test_faulted_experiment_runs(self, capsys):
+        assert main_experiment(["ablation-faults"]) == 0
+        out = capsys.readouterr().out
+        assert "Fault-rate ablation" in out
+        assert "misaligned" in out
+
+    def test_scrub_without_fault_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main_experiment(["fig6", "--scrub-interval", "100"])
+        err = capsys.readouterr().err
+        assert "requires a nonzero --fault-rate" in err
+
+    @pytest.mark.parametrize("rate", ["-0.5", "1.5", "nan"])
+    def test_bad_fault_rate_rejected(self, rate, capsys):
+        with pytest.raises(SystemExit):
+            main_experiment(["fig6", "--fault-rate", rate])
+        assert "probability in [0, 1]" in capsys.readouterr().err
+
+    def test_bad_scrub_interval_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main_experiment(["fig6", "--fault-rate", "0.01",
+                             "--scrub-interval", "0"])
+        assert "--scrub-interval must be >= 1" in capsys.readouterr().err
+
+    def test_env_scrub_with_cli_rate_accepted(self, monkeypatch, capsys):
+        """The combined check runs after ALL overrides: an interval from
+        the environment plus a rate from the CLI is a valid pairing."""
+        monkeypatch.setenv("REPRO_SCRUB_INTERVAL", "50")
+        assert main_experiment(["fig3", "--fault-rate", "0.01"]) == 0
+        capsys.readouterr()
+
+
 class TestBackendFlags:
     def test_list_backends(self, capsys):
         assert main_experiment(["--list-backends"]) == 0

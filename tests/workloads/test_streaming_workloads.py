@@ -141,12 +141,11 @@ class TestMatrixEquivalence:
 
         calls = []
 
-        def dies_after_two(program, policy, config, rng=None, backend=None):
+        def dies_after_two(program, policy, config, **kwargs):
             if len(calls) == 2:
                 raise KeyboardInterrupt("simulated kill")
             calls.append(program.name)
-            return run_policy_on_program(program, policy, config, rng=rng,
-                                         backend=backend)
+            return run_policy_on_program(program, policy, config, **kwargs)
 
         monkeypatch.setattr(runner_module, "run_policy_on_program",
                             dies_after_two)
