@@ -293,6 +293,12 @@ def main_experiment(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--from-store", action="store_true",
                         help="regenerate the report purely from stored "
                              "cells; fail instead of simulating")
+    parser.add_argument("--enqueue", action="store_true",
+                        help="submit the matrix's missing cells to the "
+                             "store's work queue instead of computing; "
+                             "repro-worker processes pulling from the "
+                             "store do the math (requires --store/"
+                             "REPRO_STORE)")
     args = parser.parse_args(argv)
     if args.list_workloads:
         return _list_workloads()
@@ -353,6 +359,30 @@ def main_experiment(argv: Sequence[str] | None = None) -> int:
         if profile.store is None:
             parser.error("--from-store requires --store or REPRO_STORE")
         profile = replace(profile, offline=True)
+    if args.enqueue:
+        if profile.store is None:
+            parser.error("--enqueue requires --store or REPRO_STORE "
+                         "(the work queue lives in the store)")
+        if args.shard is not None:
+            parser.error("--enqueue and --shard conflict: the queue "
+                         "load-balances dynamically, shards statically")
+        if args.from_store:
+            parser.error("--enqueue and --from-store conflict")
+        if args.experiment not in exp.MATRIX_POLICIES:
+            parser.error(
+                f"--enqueue only applies to matrix experiments "
+                f"({', '.join(sorted(exp.MATRIX_POLICIES))})"
+            )
+        try:
+            stats = exp.enqueue_matrix(args.experiment, profile)
+        except (ExperimentError, WorkloadError) as exc:
+            print(f"repro-experiment: {exc}", file=sys.stderr)
+            return 2
+        print(f"{args.experiment!r} submitted to the queue: "
+              f"{stats.describe()}")
+        print("start repro-worker processes on this store to compute, "
+              "then regenerate with --from-store")
+        return 0
     if args.shard is not None:
         from repro.eval.runner import parse_shard
 

@@ -94,6 +94,33 @@ def populate_matrix(
     return last_matrix_stats()
 
 
+def enqueue_matrix(
+    experiment_id: str,
+    profile: EvalProfile = QUICK_PROFILE,
+    store=None,
+) -> MatrixStats:
+    """Submit one experiment's matrix to the store's work queue.
+
+    The distributed-queue workflow's submit half: every cell missing
+    from the store becomes an open queue row carrying its recompute
+    recipe, priced for longest-first claiming; any number of
+    ``repro-worker`` processes pulling from the store then compute the
+    matrix, and the plain ``experiment_<id>`` regenerates the report
+    from the store with zero simulation once the queue drains. Warm
+    cells are skipped — queue rows and stored cells share one content
+    namespace.
+    """
+    try:
+        names = MATRIX_POLICIES[experiment_id]
+    except KeyError:
+        raise ExperimentError(
+            f"{experiment_id!r} is not a matrix experiment; "
+            f"choose from {sorted(MATRIX_POLICIES)}"
+        ) from None
+    run_matrix(names, profile, store=store, enqueue=True)
+    return last_matrix_stats()
+
+
 # ---------------------------------------------------------------------------
 # E-T1: Table I
 # ---------------------------------------------------------------------------

@@ -71,13 +71,21 @@ class MatrixStats:
     this run was responsible for; ``sharded_out`` the cells skipped
     because they belong to other shards. Every responsible cell is
     accounted to exactly one of ``hits_memory`` (in-process cache),
-    ``hits_store`` (persistent store) or ``computed``.
+    ``hits_store`` (persistent store), ``computed``, or — in enqueue
+    mode — ``enqueued`` (submitted to the store's work queue instead of
+    simulated here). ``hits_queue`` sub-classifies ``hits_store``: the
+    store hits whose queue row is ``done``, i.e. cells computed remotely
+    by queue workers rather than by any local run — they are *hits*, not
+    misses, so resumed-report stats stay truthful about who did the
+    work.
     """
 
     cells_total: int = 0
     hits_memory: int = 0
     hits_store: int = 0
+    hits_queue: int = 0
     computed: int = 0
+    enqueued: int = 0
     sharded_out: int = 0
     run_id: str | None = None
     shard: tuple[int, int] | None = None
@@ -89,10 +97,13 @@ class MatrixStats:
 
     def describe(self) -> str:
         shard = f", shard {self.shard[0]}/{self.shard[1]}" if self.shard else ""
+        queue = (f" ({self.hits_queue} queue-computed)"
+                 if self.hits_queue else "")
+        enq = f", {self.enqueued} enqueued" if self.enqueued else ""
         return (
             f"{self.cells_total} cell(s): {self.hits_memory} memory hit(s), "
-            f"{self.hits_store} store hit(s), {self.computed} computed"
-            f"{shard}"
+            f"{self.hits_store} store hit(s){queue}, {self.computed} computed"
+            f"{enq}{shard}"
         )
 
 
@@ -501,6 +512,7 @@ def run_matrix(
     shard: tuple[int, int] | str | None = None,
     offline: bool | None = None,
     shared_traces: bool | None = None,
+    enqueue: bool = False,
 ) -> dict[tuple[str, str, int], CellResult]:
     """Run the full (program x config x policy) matrix.
 
@@ -526,6 +538,18 @@ def run_matrix(
     :class:`~repro.errors.ExperimentError` is raised — the
     "regenerate reports without recomputing" mode.
 
+    ``enqueue=True`` *submits* instead of simulating: every cell missing
+    from both cache layers becomes an open row in the store's work queue
+    (:mod:`repro.store.queue`) carrying the full recompute recipe —
+    workload spec, policy spec, configuration, per-cell seed, backend,
+    fault model — under the same content key the cell will be stored
+    with, priced by the workload's access count so claims hand out
+    expensive cells first. Warm cells are returned as usual, so the
+    result dict is the already-available slice of the matrix. Requires a
+    store and profile-resolved workloads (``programs`` must be left
+    ``None``: an explicit program object carries no registry spec a
+    remote worker could resolve).
+
     ``shared_traces`` (default: the profile's flag) publishes the
     compiled traces to pool workers through one zero-copy shared-memory
     arena (:class:`~repro.engine.compile.SharedTraceArena`) instead of
@@ -539,6 +563,7 @@ def run_matrix(
     :func:`last_matrix_stats`.
     """
     global _LAST_STATS
+    programs_explicit = programs is not None
     programs = list(programs) if programs is not None else load_suite(profile)
     configs = list(configs) if configs is not None else iso_capacity_sweep()
     specs = policy_specs(policy_names, profile)
@@ -583,11 +608,29 @@ def run_matrix(
         shard = parse_shard(shard)
     workers = _resolve_workers(workers)
     store_obj, owned_store = _resolve_store(store, profile)
+    if enqueue:
+        if store_obj is None:
+            raise ExperimentError(
+                "enqueue mode needs a store: the work queue lives in it "
+                "(pass store=, set the profile's store, or REPRO_STORE)"
+            )
+        if offline:
+            raise ExperimentError(
+                "enqueue and offline conflict: one submits missing cells, "
+                "the other forbids their existence"
+            )
+        if programs_explicit:
+            raise ExperimentError(
+                "enqueue mode needs profile-resolved workloads: an "
+                "explicit program object carries no registry spec a "
+                "remote worker could resolve"
+            )
     stats = MatrixStats(shard=shard)
     master = ensure_rng(profile.seed)
     seeds = spawn_seeds(master, len(programs) * len(configs) * len(policies))
     results: dict[tuple[str, str, int], CellResult] = {}
     pending: list[tuple[tuple[str, str, int], tuple[int, int, int, int], str]] = []
+    store_hit_keys: list[str] = []
     try:
         i = 0
         for pi, program in enumerate(programs):
@@ -614,10 +657,20 @@ def run_matrix(
                         if stored is not None:
                             results[result_key] = stored
                             stats.hits_store += 1
+                            store_hit_keys.append(key)
                             if use_cache:
                                 _CELL_CACHE[key] = stored
                             continue
                     pending.append((result_key, job, key))
+        if store_hit_keys:
+            # Credit store hits computed by queue workers: the queue and
+            # the cell cache share the content-key namespace, so a done
+            # queue row under a hit key means the work happened remotely.
+            from repro.store.queue import WorkQueue
+
+            stats.hits_queue = len(
+                WorkQueue(store_obj).done_among(store_hit_keys)
+            )
         if pending and offline:
             missing = sorted({rk for rk, _, _ in pending})
             raise ExperimentError(
@@ -625,7 +678,13 @@ def run_matrix(
                 f"store (first: {missing[0]}); run without --from-store "
                 f"to compute them"
             )
-        if pending:
+        if pending and enqueue:
+            _enqueue_pending(
+                pending, programs, specs, configs, backend, store_obj,
+                stats, policy_names, profile, shard,
+                fault=fault, scrub_interval=scrub_interval,
+            )
+        elif pending:
             _compute_pending(
                 pending, programs, policies, specs, configs, backend,
                 workers, use_cache, store_obj, stats, results,
@@ -638,6 +697,92 @@ def run_matrix(
         if owned_store and store_obj is not None:
             store_obj.close()
     return results
+
+
+def _enqueue_pending(
+    pending, programs, specs, configs, backend, store_obj, stats,
+    policy_names, profile, shard, fault=None, scrub_interval=None,
+) -> None:
+    """Submit the cache-missing cells to the store's work queue.
+
+    Each queue row carries everything a remote worker needs to rebuild
+    the cell from scratch: the *workload spec* (not the resolved
+    program — resolution is deterministic under the profile context, so
+    the worker re-derives bit-identical traces), the picklable policy
+    spec, the configuration's six geometry fields, the per-cell seed the
+    serial runner would have used, the resolved backend name and the
+    fault model. The queue key is the cell's content digest, so workers
+    can re-derive the key from the recipe and assert it matches —
+    serialization drift surfaces as a hard error, never as a
+    wrong-keyed cell. ``cost_hint`` is the workload's access count:
+    claims hand out big cells first, which is what lets a worker pool
+    beat static sharding on skewed matrices.
+    """
+    from repro.store.queue import QueueJob, WorkQueue
+
+    workload_specs = list(profile.workload_specs)
+    started = time.perf_counter()
+    manifest = _run_manifest(
+        profile, policy_names, backend, 0, shard, stats.cells_total
+    )
+    manifest["mode"] = "enqueue"
+    run_id = store_obj.begin_run(manifest)
+    stats.run_id = run_id
+    jobs = []
+    for result_key, (pi, ci, li, seed), key in pending:
+        benchmark, policy_name, dbcs = result_key
+        config = configs[ci]
+        name, options = specs[li]
+        payload = {
+            "workload": workload_specs[pi],
+            "context": {
+                "scale": profile.suite_scale,
+                "seed": profile.seed,
+                "write_ratio": profile.write_ratio,
+            },
+            "policy": [name, dict(options)],
+            "config": {
+                "dbcs": config.dbcs,
+                "tracks_per_dbc": config.tracks_per_dbc,
+                "domains_per_track": config.domains_per_track,
+                "ports_per_track": config.ports_per_track,
+                "banks": config.banks,
+                "subarrays": config.subarrays,
+            },
+            "seed": seed,
+            "backend": str(backend) if backend is not None else None,
+            "fault": (
+                {
+                    "rate": fault.rate,
+                    "seed": fault.seed,
+                    "dbc_skew": (list(fault.dbc_skew)
+                                 if fault.dbc_skew is not None else None),
+                }
+                if fault is not None else None
+            ),
+            "scrub_interval": scrub_interval,
+        }
+        jobs.append(QueueJob(
+            key=key, benchmark=benchmark, policy=policy_name, dbcs=dbcs,
+            job=payload, cost_hint=programs[pi].total_accesses,
+        ))
+    counts = WorkQueue(store_obj).submit(jobs)
+    stats.enqueued = len(jobs)
+    store_obj.finish_run(
+        run_id,
+        status="enqueued",
+        wall_time_s=time.perf_counter() - started,
+        cells_total=stats.cells_total,
+        hits_memory=stats.hits_memory,
+        hits_store=stats.hits_store,
+        computed=0,
+    )
+    logger.info(
+        "run_matrix enqueue: %d cell(s) -> queue (%d new, %d already "
+        "queued, %d already stored)",
+        len(jobs), counts["submitted"], counts["already_queued"],
+        counts["already_stored"],
+    )
 
 
 def _compute_pending(

@@ -10,6 +10,14 @@ Subcommands:
 * ``merge``   — copy cells from other stores into this one (the shard
   union step: disjoint shard stores merge into one that regenerates
   reports bit-identically).
+* ``queue``   — list work-queue rows (status, owner, lease, attempts).
+* ``requeue`` — reopen expired claims now (``--failed`` also
+  un-quarantines failed cells with a fresh retry budget).
+* ``errors``  — the queue's persisted per-attempt error log.
+
+``stats`` includes the queue-state block (open/claimed/done/failed
+counts, oldest lease, attempt histogram) and ``gc`` also reaps stale
+leases and orphaned error-log rows.
 
 The target store is ``--store PATH`` or the ``REPRO_STORE`` environment
 variable, matching ``repro-experiment``.
@@ -72,8 +80,60 @@ def _cmd_runs(args: argparse.Namespace) -> int:
 def _cmd_gc(args: argparse.Namespace) -> int:
     with _open(args) as store:
         removed = store.gc(older_than_s=args.older_than)
-    print(f"removed {removed['cells']} cell(s), {removed['runs']} run(s); "
-          f"store compacted")
+    print(f"removed {removed['cells']} cell(s), {removed['runs']} run(s), "
+          f"{removed['queue_rows']} settled queue row(s), "
+          f"{removed['orphaned_errors']} orphaned error(s); "
+          f"{removed['leases_reopened']} expired lease(s) reopened, "
+          f"{removed['leases_quarantined']} quarantined; store compacted")
+    return 0
+
+
+def _cmd_queue(args: argparse.Namespace) -> int:
+    from repro.store.queue import WorkQueue
+
+    with _open(args) as store:
+        queue = WorkQueue(store)
+        rows = queue.jobs(status=args.status, limit=args.limit)
+        counts = queue.counts()
+    table = [
+        [r["key"][:12], r["benchmark"], r["policy"], r["dbcs"], r["status"],
+         r["owner"] or "-", f"{r['attempts']}/{r['max_attempts']}",
+         r["cost_hint"]]
+        for r in rows
+    ]
+    total = sum(counts.values())
+    print(format_table(
+        ["Key", "Benchmark", "Policy", "DBCs", "Status", "Owner",
+         "Attempts", "Cost"],
+        table,
+        title=(f"{total} queue row(s): {counts['open']} open, "
+               f"{counts['claimed']} claimed, {counts['done']} done, "
+               f"{counts['failed']} failed"),
+    ))
+    return 0
+
+
+def _cmd_requeue(args: argparse.Namespace) -> int:
+    from repro.store.queue import WorkQueue
+
+    with _open(args) as store:
+        queue = WorkQueue(store)
+        result = queue.requeue_expired()
+        retried = queue.retry_failed() if args.failed else 0
+    line = (f"reopened {result['reopened']} expired claim(s), "
+            f"quarantined {result['quarantined']}")
+    if args.failed:
+        line += f", retrying {retried} failed cell(s)"
+    print(line)
+    return 0
+
+
+def _cmd_errors(args: argparse.Namespace) -> int:
+    from repro.store.queue import WorkQueue
+
+    with _open(args) as store:
+        rows = WorkQueue(store).errors(key=args.key, limit=args.limit)
+    print(json.dumps(rows, indent=2, sort_keys=True))
     return 0
 
 
@@ -133,6 +193,29 @@ def main_store(argv: Sequence[str] | None = None) -> int:
     p_merge.add_argument("sources", nargs="+",
                          help="source store database path(s)")
     p_merge.set_defaults(func=_cmd_merge)
+
+    p_queue = sub.add_parser("queue", help="list work-queue rows")
+    p_queue.add_argument("--status", default=None,
+                         choices=("open", "claimed", "done", "failed"),
+                         help="only rows in this state")
+    p_queue.add_argument("--limit", type=int, default=50,
+                         help="max rows to print (default 50)")
+    p_queue.set_defaults(func=_cmd_queue)
+
+    p_requeue = sub.add_parser(
+        "requeue", help="reopen expired claims (and optionally failed cells)"
+    )
+    p_requeue.add_argument("--failed", action="store_true",
+                           help="also un-quarantine failed cells with a "
+                                "fresh retry budget")
+    p_requeue.set_defaults(func=_cmd_requeue)
+
+    p_errors = sub.add_parser("errors", help="queue error log as JSON")
+    p_errors.add_argument("--key", default=None,
+                          help="only errors of this cell key")
+    p_errors.add_argument("--limit", type=int, default=50,
+                          help="max rows to print (default 50)")
+    p_errors.set_defaults(func=_cmd_errors)
 
     args = parser.parse_args(argv)
     try:

@@ -71,10 +71,19 @@ class ExperimentStore:
         self.close()
 
     def _migrate(self) -> None:
-        """Create tables; discard stores written under another schema."""
+        """Create tables; migrate or discard stores written under another schema.
+
+        Versions in :data:`schema.UPGRADABLE_VERSIONS` migrate *in
+        place*: their tables are a strict subset of the current layout,
+        so the missing ones are created and every existing row survives
+        (a v1 store keeps all its cells warm when the queue tables
+        arrive). Any other foreign version is dropped wholesale — cells
+        are pure caches, so nothing is lost but compute time.
+        """
         with self._conn:
             found = self._schema_version()
-            if found is not None and found != schema.SCHEMA_VERSION:
+            if (found is not None and found != schema.SCHEMA_VERSION
+                    and found not in schema.UPGRADABLE_VERSIONS):
                 for table in schema.TABLES:
                     self._conn.execute(f"DROP TABLE IF EXISTS {table}")
             self._conn.executescript(schema.CREATE_SQL)
@@ -228,6 +237,8 @@ class ExperimentStore:
 
     def stats(self) -> dict:
         """Aggregate store statistics (the ``repro-store stats`` payload)."""
+        from repro.store.queue import WorkQueue
+
         by_policy = dict(self._conn.execute(
             "SELECT policy, COUNT(*) FROM cells GROUP BY policy ORDER BY policy"
         ).fetchall())
@@ -244,19 +255,33 @@ class ExperimentStore:
             "benchmarks": benchmarks,
             "cells_by_policy": by_policy,
             "runs": run_rows,
+            "queue": WorkQueue(self).stats(),
             "size_bytes": os.path.getsize(self._path),
         }
 
     def gc(self, older_than_s: float | None = None) -> dict:
-        """Drop stale rows and compact the file.
+        """Drop stale rows, reap queue debris, and compact the file.
 
         With ``older_than_s``, cells created more than that many seconds
         ago are removed, and then run records finished (or, if never
         finished, started) before the same horizon — but only runs no
         surviving cell still points at, so live cells never lose their
-        provenance. Without a horizon only compaction happens.
+        provenance; settled queue rows (``done``/``failed``) older than
+        the horizon go too. Regardless of horizon, stale leases are
+        reaped (expired claims reopen, or quarantine when out of
+        attempts) and error-log rows whose queue row no longer exists
+        are dropped. Without a horizon only the queue reaping and
+        compaction happen.
         """
-        removed = {"cells": 0, "runs": 0}
+        from repro.store.queue import WorkQueue
+
+        removed = {"cells": 0, "runs": 0, "queue_rows": 0,
+                   "orphaned_errors": 0, "leases_reopened": 0,
+                   "leases_quarantined": 0}
+        queue = WorkQueue(self)
+        reaped = queue.requeue_expired()
+        removed["leases_reopened"] = reaped["reopened"]
+        removed["leases_quarantined"] = reaped["quarantined"]
         if older_than_s is not None:
             horizon = time.time() - older_than_s
             with self._conn:
@@ -271,6 +296,18 @@ class ExperimentStore:
                     (horizon,),
                 )
                 removed["runs"] = cur.rowcount
+                cur = self._conn.execute(
+                    "DELETE FROM queue WHERE status IN ('done', 'failed') "
+                    "AND updated_at < ?",
+                    (horizon,),
+                )
+                removed["queue_rows"] = cur.rowcount
+        with self._conn:
+            cur = self._conn.execute(
+                "DELETE FROM queue_errors WHERE key NOT IN "
+                "(SELECT key FROM queue)"
+            )
+            removed["orphaned_errors"] = cur.rowcount
         self._conn.execute("VACUUM")
         return removed
 
@@ -299,13 +336,15 @@ class ExperimentStore:
         newly added cells — the heart of the shard workflow, where each
         shard fills its own store and the union regenerates reports.
 
-        A source written under a different schema version is refused —
-        never migrated: opening it normally would drop its tables, and
-        a merge must not destroy its source.
+        A source written under a foreign, non-upgradable schema version
+        is refused: opening it normally would drop its tables, and a
+        merge must not destroy its source. Upgradable versions are fine
+        — opening them migrates additively, losing nothing.
         """
         if not isinstance(other, ExperimentStore):
             found = _peek_schema_version(Path(other))
-            if found is not None and found != schema.SCHEMA_VERSION:
+            if (found is not None and found != schema.SCHEMA_VERSION
+                    and found not in schema.UPGRADABLE_VERSIONS):
                 raise ExperimentError(
                     f"cannot merge from {other}: written under schema "
                     f"version {found}, this build expects "

@@ -298,3 +298,72 @@ class TestFaultedCellKeys:
             assert last_matrix_stats().computed == 4
         with ExperimentStore(path) as s:
             assert len(s) == 12
+
+
+class TestEnqueueMode:
+    """``run_matrix(enqueue=True)``: submit instead of simulate."""
+
+    def test_enqueue_worker_drain_offline_bit_identical(self, tmp_path):
+        from repro.eval.service import worker_loop
+        from repro.store import WorkQueue
+
+        clear_cell_cache()
+        path = tmp_path / "s.db"
+        submitted = run_matrix(POLICIES, TINY, configs=CONFIGS, store=path,
+                               enqueue=True)
+        stats = last_matrix_stats()
+        assert submitted == {}  # nothing computed locally
+        assert (stats.cells_total, stats.enqueued, stats.computed) == (8, 8, 0)
+
+        outcome = worker_loop(path, drain=True, batch=3, lease_s=30)
+        assert (outcome["computed"], outcome["failed"]) == (8, 0)
+
+        clear_cell_cache()
+        via_queue = run_matrix(POLICIES, TINY, configs=CONFIGS, store=path,
+                               offline=True)
+        stats = last_matrix_stats()
+        # Remotely computed cells are store hits, all credited to the queue.
+        assert (stats.hits_store, stats.hits_queue, stats.computed) == (8, 8, 0)
+
+        clear_cell_cache()
+        cold = run_matrix(POLICIES, TINY, configs=CONFIGS, workers=1)
+        assert via_queue == cold  # dataclass eq: every float bit-exact
+
+    def test_enqueue_skips_warm_cells(self, tmp_path):
+        clear_cell_cache()
+        path = tmp_path / "s.db"
+        run_matrix(("DMA-SR",), TINY, configs=CONFIGS, store=path)
+        clear_cell_cache()
+        run_matrix(POLICIES, TINY, configs=CONFIGS, store=path, enqueue=True)
+        stats = last_matrix_stats()
+        # The 4 DMA-SR cells are warm; only GA's 4 cells hit the queue.
+        assert (stats.hits_store, stats.enqueued) == (4, 4)
+        assert stats.hits_queue == 0  # warm cells were computed locally
+
+    def test_enqueue_resubmission_is_idempotent(self, tmp_path):
+        from repro.store import ExperimentStore, WorkQueue
+
+        clear_cell_cache()
+        path = tmp_path / "s.db"
+        for _ in range(2):
+            run_matrix(POLICIES, TINY, configs=CONFIGS, store=path,
+                       enqueue=True)
+        with ExperimentStore(path) as store:
+            assert WorkQueue(store).counts()["open"] == 8
+
+    def test_enqueue_requires_store(self):
+        with pytest.raises(ExperimentError, match="store"):
+            run_matrix(POLICIES, TINY, configs=CONFIGS, enqueue=True)
+
+    def test_enqueue_conflicts_with_offline(self, tmp_path):
+        with pytest.raises(ExperimentError, match="offline"):
+            run_matrix(POLICIES, TINY, configs=CONFIGS,
+                       store=tmp_path / "s.db", enqueue=True, offline=True)
+
+    def test_enqueue_refuses_explicit_programs(self, tmp_path):
+        from repro.eval.runner import load_suite
+
+        with pytest.raises(ExperimentError, match="workload"):
+            run_matrix(POLICIES, TINY, configs=CONFIGS,
+                       store=tmp_path / "s.db", enqueue=True,
+                       programs=load_suite(TINY))

@@ -179,7 +179,11 @@ class TestMaintenance:
         with ExperimentStore(tmp_path / "s.db") as store:
             store.put_cell("k1", make_cell())
             removed = store.gc()
-            assert removed == {"cells": 0, "runs": 0}
+            assert removed == {
+                "cells": 0, "runs": 0, "queue_rows": 0,
+                "orphaned_errors": 0, "leases_reopened": 0,
+                "leases_quarantined": 0,
+            }
             assert len(store) == 1
 
     def test_export_jsonl(self, tmp_path):
@@ -206,7 +210,12 @@ class TestMaintenance:
                 conn.execute("UPDATE runs SET started_at = 0, finished_at = 1")
             conn.close()
             removed = store.gc(older_than_s=3600)
-            assert removed == {"cells": 0, "runs": 0}  # provenance survives
+            # Provenance survives; no queue debris to reap either.
+            assert removed == {
+                "cells": 0, "runs": 0, "queue_rows": 0,
+                "orphaned_errors": 0, "leases_reopened": 0,
+                "leases_quarantined": 0,
+            }
             (run,) = store.runs()
             assert run["run_id"] == run_id
 

@@ -90,3 +90,58 @@ class TestErrors:
         assert main_store(["--store", str(dest), "merge",
                            str(tmp_path / "ghost.db")]) == 2
         assert "does not exist" in capsys.readouterr().err
+
+
+class TestQueueSubcommands:
+    @pytest.fixture()
+    def queued_path(self, tmp_path):
+        from repro.store import QueueJob, WorkQueue
+
+        path = tmp_path / "q.db"
+        with ExperimentStore(path) as store:
+            queue = WorkQueue(store)
+            queue.submit([
+                QueueJob(key=f"cell{i}", benchmark="adpcm", policy="DMA-SR",
+                         dbcs=4, job={"i": i}, cost_hint=i,
+                         max_attempts=1)
+                for i in range(3)
+            ])
+            [claimed] = queue.claim(1, "w1")
+            queue.fail(claimed.key, "w1", "synthetic failure")
+        return path
+
+    def test_queue_listing(self, queued_path, capsys):
+        assert main_store(["--store", str(queued_path), "queue"]) == 0
+        out = capsys.readouterr().out
+        assert "3 queue row(s): 2 open" in out and "1 failed" in out
+        assert "cell" in out and "DMA-SR" in out
+
+    def test_queue_status_filter(self, queued_path, capsys):
+        assert main_store(["--store", str(queued_path), "queue",
+                           "--status", "failed"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("\nc") == 1  # one data row
+
+    def test_requeue_failed(self, queued_path, capsys):
+        assert main_store(["--store", str(queued_path), "requeue",
+                           "--failed"]) == 0
+        assert "retrying 1 failed cell(s)" in capsys.readouterr().out
+
+    def test_errors(self, queued_path, capsys):
+        assert main_store(["--store", str(queued_path), "errors"]) == 0
+        log = json.loads(capsys.readouterr().out)
+        assert len(log) == 1 and log[0]["error"] == "synthetic failure"
+
+    def test_stats_includes_queue_block(self, queued_path, capsys):
+        assert main_store(["--store", str(queued_path), "stats"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["queue"]["open"] == 2
+        assert stats["queue"]["failed"] == 1
+        assert stats["queue"]["error_log_rows"] == 1
+
+    def test_gc_reports_queue_reaping(self, queued_path, capsys):
+        assert main_store(["--store", str(queued_path), "gc",
+                           "--older-than", "-1"]) == 0
+        out = capsys.readouterr().out
+        assert "1 settled queue row(s)" in out
+        assert "1 orphaned error(s)" in out
